@@ -1,0 +1,234 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (McCoy & Robins, "Non-Tree Routing", DATE 1994), the Section 5
+   extension experiments, and a Bechamel timing section for the core
+   algorithm kernels.
+
+     dune exec bench/main.exe                 # everything, paper scale
+     dune exec bench/main.exe -- --quick      # reduced scale smoke run
+     dune exec bench/main.exe -- --only 2,6   # just Tables 2 and 6
+     dune exec bench/main.exe -- --trials 10 --sizes 5,10
+
+   Normalised numbers are expected to match the paper in *shape* (who
+   wins, how gains scale with net size), not in absolute nanoseconds:
+   the evaluation substrate here is this repository's own MNA transient
+   engine rather than Berkeley SPICE2 on 1993 hardware. *)
+
+let progress fmt =
+  Printf.ksprintf
+    (fun s ->
+      let t = Unix.gettimeofday () in
+      Printf.eprintf "[%8.1fs] %s\n%!" (t -. Main_start.t0) s)
+    fmt
+
+(* Sections ------------------------------------------------------------- *)
+
+let run_table1 config = print_string (Harness.Runs.table1 config)
+
+let run_table2 config =
+  progress "Table 2: LDRG vs MST (SPICE oracle, the expensive one)...";
+  let rows = Harness.Runs.table2 config in
+  print_string
+    (Harness.Table.render ~title:"Table 2: LDRG Algorithm Statistics"
+       ~baseline:"the MST routing" rows)
+
+let run_table3 config =
+  progress "Table 3: SLDRG vs Steiner tree...";
+  let rows = Harness.Runs.table3 config in
+  print_string
+    (Harness.Table.render ~title:"Table 3: SLDRG Algorithm Statistics"
+       ~baseline:"the Iterated-1-Steiner tree" rows)
+
+let run_table4 config =
+  progress "Table 4: H1 heuristic...";
+  let rows = Harness.Runs.table4 config in
+  print_string
+    (Harness.Table.render ~title:"Table 4: H1 Heuristic Statistics"
+       ~baseline:"the MST routing" rows)
+
+let run_table5 config =
+  progress "Table 5: H2 and H3 heuristics...";
+  let h2, h3 = Harness.Runs.table5 config in
+  print_string
+    (Harness.Table.render ~title:"Table 5a: H2 Heuristic Statistics"
+       ~baseline:"the MST routing" h2);
+  print_newline ();
+  print_string
+    (Harness.Table.render ~title:"Table 5b: H3 Heuristic Statistics"
+       ~baseline:"the MST routing" h3)
+
+let run_table6 config =
+  progress "Table 6: ERT vs MST...";
+  let rows = Harness.Runs.table6 config in
+  print_string
+    (Harness.Table.render ~title:"Table 6: Elmore Routing Tree Statistics"
+       ~baseline:"the MST routing" rows)
+
+let run_table7 config =
+  progress "Table 7: ERT-seeded LDRG vs ERT...";
+  let rows = Harness.Runs.table7 config in
+  print_string
+    (Harness.Table.render
+       ~title:"Table 7: ERT-Based LDRG Algorithm Statistics"
+       ~baseline:"the ERT routing" rows)
+
+let run_figures config ~svg_dir =
+  progress "Figures 1, 2, 3 and 5...";
+  (try Unix.mkdir svg_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  List.iter
+    (fun fig ->
+      let f = fig config in
+      print_string (Harness.Runs.render_figure f);
+      let paths = Harness.Runs.save_figure_svgs ~dir:svg_dir f in
+      List.iter (fun p -> Printf.printf "  svg: %s\n" p) paths;
+      print_newline ())
+    [ Harness.Runs.figure1; Harness.Runs.figure2; Harness.Runs.figure3;
+      Harness.Runs.figure5 ]
+
+let run_extensions config =
+  progress "Extension experiments (Section 5)...";
+  print_string (Harness.Runs.ext_csorg config);
+  print_newline ();
+  print_string (Harness.Runs.ext_wsorg config);
+  print_newline ();
+  print_string (Harness.Runs.ext_oracle config);
+  print_newline ();
+  print_string (Harness.Runs.ext_rlc config);
+  print_newline ();
+  print_string (Harness.Runs.ext_trees config);
+  print_newline ();
+  print_string (Harness.Runs.ext_budget config);
+  print_newline ();
+  print_string (Harness.Runs.ext_prune config);
+  print_newline ();
+  print_string (Harness.Runs.ext_sensitivity config)
+
+(* Bechamel timing of the algorithm kernels ------------------------------ *)
+
+let run_bechamel () =
+  progress "Bechamel kernel timings...";
+  let open Bechamel in
+  let tech = Circuit.Technology.table1 in
+  let net pins =
+    let g = Rng.create 2025 in
+    Geom.Netgen.uniform g ~region:(Geom.Rect.square 10_000.0) ~pins
+  in
+  let net30 = net 30 and net10 = net 10 in
+  let mst30 = Routing.mst_of_net net30 in
+  let mst10 = Routing.mst_of_net net10 in
+  let spice_model = Delay.Model.Spice Delay.Model.fast_spice in
+  let tests =
+    Test.make_grouped ~name:"kernels"
+      [ Test.make ~name:"mst-30pin"
+          (Staged.stage (fun () -> ignore (Routing.mst_of_net net30)));
+        Test.make ~name:"elmore-30pin"
+          (Staged.stage (fun () -> ignore (Delay.Elmore.max_delay ~tech mst30)));
+        Test.make ~name:"first-moment-30pin"
+          (Staged.stage (fun () ->
+               ignore (Delay.Moments.max_delay ~tech mst30)));
+        Test.make ~name:"spice-eval-10pin"
+          (Staged.stage (fun () ->
+               ignore (Delay.Model.max_delay spice_model ~tech mst10)));
+        Test.make ~name:"ert-10pin"
+          (Staged.stage (fun () -> ignore (Ert.construct ~tech net10)));
+        Test.make ~name:"i1steiner-10pin"
+          (Staged.stage (fun () ->
+               ignore (Steiner.Iterated_1steiner.construct net10)));
+        Test.make ~name:"ldrg-moment-10pin"
+          (Staged.stage (fun () ->
+               ignore
+                 (Nontree.Ldrg.run ~model:Delay.Model.First_moment ~tech mst10)))
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Printf.printf "Kernel timings (ns per run, OLS fit):\n";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ ns ] -> Printf.printf "  %-28s %12.0f ns\n" name ns
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    results
+
+(* CLI -------------------------------------------------------------------- *)
+
+let () =
+  let trials = ref 50 in
+  let sizes = ref "5,10,20,30" in
+  let seed = ref 1994 in
+  let only = ref "" in
+  let quick = ref false in
+  let accurate = ref false in
+  let svg_dir = ref "figures" in
+  let spec =
+    [ ("--trials", Arg.Set_int trials, "N  trials per net size (default 50)");
+      ("--sizes", Arg.Set_string sizes, "CSV  net sizes (default 5,10,20,30)");
+      ("--seed", Arg.Set_int seed, "N  experiment seed (default 1994)");
+      ( "--only",
+        Arg.Set_string only,
+        "LIST  subset to run, e.g. 2,3,figures,ext,bechamel" );
+      ("--quick", Arg.Set quick, "  reduced scale (12 trials, sizes 5,10,20)");
+      ( "--accurate",
+        Arg.Set accurate,
+        "  evaluate with the accurate SPICE profile" );
+      ("--svg-dir", Arg.Set_string svg_dir, "DIR  figure output (default figures)")
+    ]
+  in
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "nontree benchmark harness";
+  if !quick then begin
+    trials := 12;
+    sizes := "5,10,20"
+  end;
+  let size_list =
+    String.split_on_char ',' !sizes
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map int_of_string
+  in
+  let eval_model =
+    if !accurate then Delay.Model.Spice Delay.Model.accurate_spice
+    else Delay.Model.Spice Delay.Model.fast_spice
+  in
+  let config =
+    { Nontree.Experiment.default with
+      trials = !trials;
+      sizes = size_list;
+      seed = !seed;
+      eval_model }
+  in
+  let wanted =
+    if !only = "" then
+      [ "1"; "2"; "3"; "4"; "5"; "6"; "7"; "figures"; "ext"; "bechamel" ]
+    else String.split_on_char ',' !only |> List.map String.trim
+  in
+  let section name f =
+    if List.mem name wanted then begin
+      f ();
+      print_newline ()
+    end
+  in
+  Printf.printf
+    "Non-Tree Routing (McCoy & Robins, DATE 1994) -- reproduction harness\n";
+  Printf.printf "seed %d, %d trials per size, sizes [%s], eval model %s\n\n"
+    !seed !trials !sizes
+    (Delay.Model.name config.Nontree.Experiment.eval_model);
+  section "1" (fun () -> run_table1 config);
+  section "2" (fun () -> run_table2 config);
+  section "3" (fun () -> run_table3 config);
+  section "4" (fun () -> run_table4 config);
+  section "5" (fun () -> run_table5 config);
+  section "6" (fun () -> run_table6 config);
+  section "7" (fun () -> run_table7 config);
+  section "figures" (fun () -> run_figures config ~svg_dir:!svg_dir);
+  section "ext" (fun () -> run_extensions config);
+  section "bechamel" (fun () -> run_bechamel ());
+  progress "done"

@@ -1,0 +1,2 @@
+(* Wall-clock zero for progress reporting. *)
+let t0 = Unix.gettimeofday ()

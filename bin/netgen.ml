@@ -1,0 +1,57 @@
+(* netgen: emit random signal nets as net files.
+
+     dune exec bin/netgen.exe -- --pins 10 --seed 3 > net.txt
+     dune exec bin/netgen.exe -- --pins 20 --clusters 3 -o net.txt *)
+
+open Cmdliner
+
+let run pins seed side clusters output =
+  if pins < 2 then `Error (false, "--pins must be at least 2")
+  else begin
+    let rng = Rng.create seed in
+    let region = Geom.Rect.square side in
+    let net =
+      match clusters with
+      | None -> Geom.Netgen.uniform rng ~region ~pins
+      | Some clusters -> Geom.Netgen.clustered rng ~region ~clusters ~pins
+    in
+    let text = Geom.Netfile.to_string net in
+    (match output with
+    | None -> print_string text
+    | Some path -> Geom.Netfile.write path net);
+    `Ok ()
+  end
+
+let pins =
+  Arg.(value & opt int 10 & info [ "pins" ] ~docv:"N" ~doc:"Number of pins.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.")
+
+let side =
+  Arg.(
+    value
+    & opt float Circuit.Technology.table1.Circuit.Technology.layout_side
+    & info [ "side" ] ~docv:"UM"
+        ~doc:"Side of the square layout region in µm (default: Table 1).")
+
+let clusters =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "clusters" ] ~docv:"K"
+        ~doc:"Draw pins around $(docv) cluster centres instead of uniformly.")
+
+let output =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to file instead of stdout.")
+
+let cmd =
+  let doc = "generate a random signal net" in
+  Cmd.v
+    (Cmd.info "netgen" ~doc)
+    Term.(ret (const run $ pins $ seed $ side $ clusters $ output))
+
+let () = exit (Cmd.eval cmd)

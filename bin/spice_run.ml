@@ -1,0 +1,139 @@
+(* spice_run: simulate a SPICE deck with the built-in engine.
+
+     bin/spice_run.exe circuit.cir --probe out --tstop 5n
+     bin/spice_run.exe circuit.cir --probe out --csv wave.csv
+     bin/spice_run.exe circuit.cir --probe out --delay *)
+
+open Cmdliner
+
+let run_ac nl probes source =
+  let freqs =
+    Spice.Ac.log_frequencies ~f_start:1e5 ~f_stop:1e11 ~points_per_decade:10
+  in
+  List.iter
+    (fun probe ->
+      let sweep = Spice.Ac.analyze nl ~source ~probe ~frequencies:freqs in
+      (match Spice.Ac.bandwidth_3db sweep with
+      | Some bw ->
+          Printf.printf "  %-12s 3dB bandwidth %.4g MHz\n" probe (bw /. 1e6)
+      | None -> Printf.printf "  %-12s no 3dB point in sweep\n" probe);
+      let path = Printf.sprintf "ac_%s.csv" probe in
+      let oc = open_out path in
+      output_string oc (Spice.Ac.to_csv sweep);
+      close_out oc;
+      Printf.printf "  sweep written to %s\n" path)
+    probes
+
+let run deck_file probes tstop_s csv delay plot ac =
+  match Circuit.Deck.read_file_full deck_file with
+  | Error e -> `Error (false, deck_file ^ ": " ^ e)
+  | Ok (nl, directives) -> (
+      (* The deck's own .probe and .tran cards are the defaults; the
+         command line overrides them. *)
+      let probes =
+        if probes <> [] then probes else directives.Circuit.Deck.probes
+      in
+      let tstop_result =
+        match tstop_s with
+        | Some s -> Circuit.Deck.parse_number s
+        | None -> (
+            match
+              List.find_map
+                (function
+                  | Circuit.Deck.Tran { stop; _ } -> Some stop
+                  | Circuit.Deck.Ac _ -> None)
+                directives.Circuit.Deck.analyses
+            with
+            | Some stop -> Ok stop
+            | None -> Ok 10e-9)
+      in
+      match tstop_result with
+      | Error e -> `Error (false, "--tstop: " ^ e)
+      | Ok tstop ->
+          if probes = [] then
+            `Error (false, "need at least one --probe (or a .probe card)")
+          else begin
+            Printf.printf "deck: %s\n" (Circuit.Netlist.stats nl);
+            (match ac with
+            | Some source -> run_ac nl probes source
+            | None -> ());
+            if delay then begin
+              let delays =
+                Spice.Engine.threshold_delays nl ~probes ~horizon:tstop
+              in
+              List.iter
+                (fun (name, d) ->
+                  match d with
+                  | Some t ->
+                      Printf.printf "  %-12s 50%% delay %.4g ns\n" name (t *. 1e9)
+                  | None ->
+                      Printf.printf "  %-12s never crossed 50%%\n" name)
+                delays
+            end;
+            let trace = Spice.Engine.transient nl ~tstop ~probes in
+            List.iter
+              (fun p ->
+                let v = Spice.Trace.signal trace p in
+                Printf.printf "  %-12s final %.4g V\n" p
+                  (Spice.Measure.final_value ~values:v))
+              probes;
+            (match csv with
+            | Some path ->
+                Spice.Trace.write_csv path trace;
+                Printf.printf "waveforms written to %s\n" path
+            | None -> ());
+            if plot then
+              List.iter
+                (fun p -> print_string (Spice.Trace.ascii_plot trace p))
+                probes;
+            `Ok ()
+          end)
+
+let deck_file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"DECK" ~doc:"SPICE deck file.")
+
+let probes =
+  Arg.(
+    value & opt_all string []
+    & info [ "p"; "probe" ] ~docv:"NODE" ~doc:"Node to record (repeatable).")
+
+let tstop =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tstop" ] ~docv:"TIME"
+        ~doc:
+          "Simulation horizon, SPICE units accepted (e.g. 5n); defaults to \
+           the deck's .tran card, or 10 ns.")
+
+let csv =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"FILE" ~doc:"Dump waveforms as CSV.")
+
+let delay =
+  Arg.(value & flag & info [ "delay" ] ~doc:"Report 50 %% threshold delays.")
+
+let plot =
+  Arg.(value & flag & info [ "plot" ] ~doc:"ASCII-plot each probe.")
+
+let ac =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ac" ] ~docv:"VSRC"
+        ~doc:
+          "Run an AC sweep (100 kHz - 100 GHz) driving the named voltage \
+           source; writes ac_<probe>.csv per probe.")
+
+let cmd =
+  let doc = "transient-simulate a SPICE deck" in
+  Cmd.v
+    (Cmd.info "spice_run" ~doc)
+    Term.(ret (const run $ deck_file $ probes $ tstop $ csv $ delay $ plot $ ac))
+
+let () = exit (Cmd.eval cmd)

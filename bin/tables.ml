@@ -1,0 +1,133 @@
+(* tables: regenerate one paper artefact (table, figure or extension).
+
+     bin/tables.exe --table 6 --trials 20
+     bin/tables.exe --figure 2
+     bin/tables.exe --ext rlc *)
+
+open Cmdliner
+
+let config_of trials sizes seed =
+  { Nontree.Experiment.default with trials; sizes; seed }
+
+let run table figure ext trials sizes seed svg_dir =
+  let config = config_of trials sizes seed in
+  match (table, figure, ext) with
+  | Some t, None, None -> (
+      match t with
+      | 1 -> print_string (Harness.Runs.table1 config); `Ok ()
+      | 2 ->
+          print_string
+            (Harness.Table.render ~title:"Table 2: LDRG Algorithm Statistics"
+               ~baseline:"the MST routing" (Harness.Runs.table2 config));
+          `Ok ()
+      | 3 ->
+          print_string
+            (Harness.Table.render ~title:"Table 3: SLDRG Algorithm Statistics"
+               ~baseline:"the Iterated-1-Steiner tree"
+               (Harness.Runs.table3 config));
+          `Ok ()
+      | 4 ->
+          print_string
+            (Harness.Table.render ~title:"Table 4: H1 Heuristic Statistics"
+               ~baseline:"the MST routing" (Harness.Runs.table4 config));
+          `Ok ()
+      | 5 ->
+          let h2, h3 = Harness.Runs.table5 config in
+          print_string
+            (Harness.Table.render ~title:"Table 5a: H2 Heuristic Statistics"
+               ~baseline:"the MST routing" h2);
+          print_string
+            (Harness.Table.render ~title:"Table 5b: H3 Heuristic Statistics"
+               ~baseline:"the MST routing" h3);
+          `Ok ()
+      | 6 ->
+          print_string
+            (Harness.Table.render
+               ~title:"Table 6: Elmore Routing Tree Statistics"
+               ~baseline:"the MST routing" (Harness.Runs.table6 config));
+          `Ok ()
+      | 7 ->
+          print_string
+            (Harness.Table.render
+               ~title:"Table 7: ERT-Based LDRG Algorithm Statistics"
+               ~baseline:"the ERT routing" (Harness.Runs.table7 config));
+          `Ok ()
+      | n -> `Error (false, Printf.sprintf "no table %d in the paper" n))
+  | None, Some f, None -> (
+      let pick =
+        match f with
+        | 1 -> Some Harness.Runs.figure1
+        | 2 -> Some Harness.Runs.figure2
+        | 3 -> Some Harness.Runs.figure3
+        | 5 -> Some Harness.Runs.figure5
+        | _ -> None
+      in
+      match pick with
+      | None -> `Error (false, Printf.sprintf "no figure %d (1, 2, 3 or 5)" f)
+      | Some fig ->
+          let result = fig config in
+          print_string (Harness.Runs.render_figure result);
+          (try Unix.mkdir svg_dir 0o755
+           with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          List.iter (Printf.printf "svg: %s\n")
+            (Harness.Runs.save_figure_svgs ~dir:svg_dir result);
+          `Ok ())
+  | None, None, Some e -> (
+      match e with
+      | "csorg" -> print_string (Harness.Runs.ext_csorg config); `Ok ()
+      | "wsorg" -> print_string (Harness.Runs.ext_wsorg config); `Ok ()
+      | "oracle" -> print_string (Harness.Runs.ext_oracle config); `Ok ()
+      | "rlc" -> print_string (Harness.Runs.ext_rlc config); `Ok ()
+      | "trees" -> print_string (Harness.Runs.ext_trees config); `Ok ()
+      | "budget" -> print_string (Harness.Runs.ext_budget config); `Ok ()
+      | "prune" -> print_string (Harness.Runs.ext_prune config); `Ok ()
+      | "sensitivity" -> print_string (Harness.Runs.ext_sensitivity config); `Ok ()
+      | e -> `Error (false, "unknown extension " ^ e))
+  | None, None, None ->
+      `Error (true, "pick one of --table, --figure or --ext")
+  | _ -> `Error (true, "--table, --figure and --ext are mutually exclusive")
+
+let table =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "table" ] ~docv:"N" ~doc:"Regenerate Table $(docv) (1-7).")
+
+let figure =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "figure" ] ~docv:"N" ~doc:"Regenerate Figure $(docv) (1, 2, 3, 5).")
+
+let ext =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ext" ] ~docv:"NAME"
+        ~doc:"Extension experiment: csorg, wsorg, oracle, rlc, trees, budget, prune, sensitivity.")
+
+let trials =
+  Arg.(value & opt int 50 & info [ "trials" ] ~docv:"N" ~doc:"Trials per size.")
+
+let sizes =
+  Arg.(
+    value
+    & opt (list int) [ 5; 10; 20; 30 ]
+    & info [ "sizes" ] ~docv:"CSV" ~doc:"Net sizes.")
+
+let seed =
+  Arg.(value & opt int 1994 & info [ "seed" ] ~docv:"N" ~doc:"Experiment seed.")
+
+let svg_dir =
+  Arg.(
+    value & opt string "figures"
+    & info [ "svg-dir" ] ~docv:"DIR" ~doc:"Figure SVG output directory.")
+
+let cmd =
+  let doc = "regenerate a single table or figure of the paper" in
+  Cmd.v
+    (Cmd.info "tables" ~doc)
+    Term.(
+      ret (const run $ table $ figure $ ext $ trials $ sizes $ seed $ svg_dir))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,44 @@
+(* Steiner routing flow (paper Section 3, SLDRG).
+
+   Compare four topologies on the same net: MST, Iterated-1-Steiner
+   tree, ERT, and the SLDRG non-tree graph built on the Steiner tree.
+
+     dune exec examples/steiner_flow.exe *)
+
+let () =
+  let tech = Circuit.Technology.table1 in
+  let rng = Rng.create 99 in
+  let net =
+    Geom.Netgen.uniform rng
+      ~region:(Geom.Rect.square tech.Circuit.Technology.layout_side)
+      ~pins:10
+  in
+  let spice = Delay.Model.Spice Delay.Model.default_spice in
+
+  let mst = Routing.mst_of_net net in
+  let steiner = Steiner.Iterated_1steiner.construct net in
+  let ert = Ert.construct ~tech net in
+  let sldrg_trace = Nontree.Sldrg.run ~model:spice ~tech net in
+  let sldrg = sldrg_trace.Nontree.Ldrg.final in
+
+  Printf.printf "10-pin net, SPICE-evaluated (normalised to MST):\n";
+  let mst_delay = Delay.Model.max_delay spice ~tech mst in
+  let mst_cost = Routing.cost mst in
+  List.iter
+    (fun (name, r) ->
+      let d = Delay.Model.max_delay spice ~tech r in
+      Printf.printf
+        "  %-18s delay %.2f ns (%.2fx), wire %.0f um (%.2fx)%s\n" name
+        (d *. 1e9) (d /. mst_delay) (Routing.cost r)
+        (Routing.cost r /. mst_cost)
+        (if Routing.is_tree r then "" else "  [non-tree]"))
+    [ ("MST", mst); ("Iterated 1-Steiner", steiner); ("ERT", ert);
+      ("SLDRG", sldrg) ];
+  Printf.printf "Steiner points used: %d; SLDRG added %d extra wires\n"
+    (Routing.num_vertices steiner - Routing.num_terminals steiner)
+    (List.length sldrg_trace.Nontree.Ldrg.steps);
+  Routing_svg.render_to_file ~title:"SLDRG"
+    ~highlight:
+      (List.map (fun s -> s.Nontree.Ldrg.edge) sldrg_trace.Nontree.Ldrg.steps)
+    "steiner_flow_sldrg.svg" sldrg;
+  print_endline "wrote steiner_flow_sldrg.svg"

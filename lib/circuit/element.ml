@@ -1,0 +1,53 @@
+type node = int
+
+type t =
+  | Resistor of { name : string; pos : node; neg : node; ohms : float }
+  | Capacitor of { name : string; pos : node; neg : node; farads : float }
+  | Inductor of { name : string; pos : node; neg : node; henries : float }
+  | Vsource of { name : string; pos : node; neg : node; wave : Waveform.t }
+  | Isource of { name : string; pos : node; neg : node; wave : Waveform.t }
+
+let name = function
+  | Resistor { name; _ }
+  | Capacitor { name; _ }
+  | Inductor { name; _ }
+  | Vsource { name; _ }
+  | Isource { name; _ } -> name
+
+let nodes = function
+  | Resistor { pos; neg; _ }
+  | Capacitor { pos; neg; _ }
+  | Inductor { pos; neg; _ }
+  | Vsource { pos; neg; _ }
+  | Isource { pos; neg; _ } -> (pos, neg)
+
+let validate = function
+  | Resistor { ohms; pos; neg; _ } ->
+      if ohms <= 0.0 then Error "resistor: non-positive resistance"
+      else if pos = neg then Error "resistor: shorted terminals"
+      else Ok ()
+  | Capacitor { farads; pos; neg; _ } ->
+      if farads <= 0.0 then Error "capacitor: non-positive capacitance"
+      else if pos = neg then Error "capacitor: shorted terminals"
+      else Ok ()
+  | Inductor { henries; pos; neg; _ } ->
+      if henries <= 0.0 then Error "inductor: non-positive inductance"
+      else if pos = neg then Error "inductor: shorted terminals"
+      else Ok ()
+  | Vsource { wave; pos; neg; _ } ->
+      if pos = neg then Error "vsource: shorted terminals"
+      else Waveform.validate wave
+  | Isource { wave; _ } -> Waveform.validate wave
+
+let pp ppf e =
+  match e with
+  | Resistor { name; pos; neg; ohms } ->
+      Format.fprintf ppf "%s %d %d %g" name pos neg ohms
+  | Capacitor { name; pos; neg; farads } ->
+      Format.fprintf ppf "%s %d %d %g" name pos neg farads
+  | Inductor { name; pos; neg; henries } ->
+      Format.fprintf ppf "%s %d %d %g" name pos neg henries
+  | Vsource { name; pos; neg; wave } ->
+      Format.fprintf ppf "%s %d %d %a" name pos neg Waveform.pp wave
+  | Isource { name; pos; neg; wave } ->
+      Format.fprintf ppf "%s %d %d %a" name pos neg Waveform.pp wave

@@ -1,0 +1,110 @@
+type t = {
+  mutable names : string array;  (* node id -> name; grows *)
+  by_name : (string, int) Hashtbl.t;
+  mutable elements : Element.t list;  (* reversed insertion order *)
+  element_names : (string, unit) Hashtbl.t;
+  mutable num_nodes : int;
+  mutable fresh_counter : int;
+}
+
+let ground = 0
+
+let create () =
+  let t =
+    { names = Array.make 16 "";
+      by_name = Hashtbl.create 64;
+      elements = [];
+      element_names = Hashtbl.create 64;
+      num_nodes = 1;
+      fresh_counter = 0 }
+  in
+  t.names.(0) <- "0";
+  Hashtbl.replace t.by_name "0" 0;
+  t
+
+let grow t =
+  if t.num_nodes >= Array.length t.names then begin
+    let bigger = Array.make (2 * Array.length t.names) "" in
+    Array.blit t.names 0 bigger 0 t.num_nodes;
+    t.names <- bigger
+  end
+
+let node t name =
+  match Hashtbl.find_opt t.by_name name with
+  | Some id -> id
+  | None ->
+      grow t;
+      let id = t.num_nodes in
+      t.names.(id) <- name;
+      Hashtbl.replace t.by_name name id;
+      t.num_nodes <- id + 1;
+      id
+
+let fresh_node t prefix =
+  let rec try_name () =
+    t.fresh_counter <- t.fresh_counter + 1;
+    let candidate = Printf.sprintf "%s_%d" prefix t.fresh_counter in
+    if Hashtbl.mem t.by_name candidate then try_name () else candidate
+  in
+  node t (try_name ())
+
+let node_name t id =
+  if id < 0 || id >= t.num_nodes then
+    invalid_arg "Netlist.node_name: unknown node";
+  t.names.(id)
+
+let find_node t name = Hashtbl.find_opt t.by_name name
+
+let num_nodes t = t.num_nodes
+
+let add t e =
+  (match Element.validate e with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Netlist.add: " ^ msg));
+  let nm = Element.name e in
+  if Hashtbl.mem t.element_names nm then
+    invalid_arg ("Netlist.add: duplicate element name " ^ nm);
+  let pos, neg = Element.nodes e in
+  if pos < 0 || pos >= t.num_nodes || neg < 0 || neg >= t.num_nodes then
+    invalid_arg "Netlist.add: element references unknown node";
+  Hashtbl.replace t.element_names nm ();
+  t.elements <- e :: t.elements
+
+let auto_name t prefix = function
+  | Some name -> name
+  | None ->
+      let rec unique i =
+        let candidate = Printf.sprintf "%s%d" prefix i in
+        if Hashtbl.mem t.element_names candidate then unique (i + 1)
+        else candidate
+      in
+      unique (List.length t.elements + 1)
+
+let resistor t ?name pos neg ohms =
+  add t (Element.Resistor { name = auto_name t "R" name; pos; neg; ohms })
+
+let capacitor t ?name pos neg farads =
+  add t (Element.Capacitor { name = auto_name t "C" name; pos; neg; farads })
+
+let inductor t ?name pos neg henries =
+  add t (Element.Inductor { name = auto_name t "L" name; pos; neg; henries })
+
+let vsource t ?name pos neg wave =
+  add t (Element.Vsource { name = auto_name t "V" name; pos; neg; wave })
+
+let isource t ?name pos neg wave =
+  add t (Element.Isource { name = auto_name t "I" name; pos; neg; wave })
+
+let elements t = List.rev t.elements
+
+let stats t =
+  let r = ref 0 and c = ref 0 and l = ref 0 and v = ref 0 and i = ref 0 in
+  List.iter
+    (function
+      | Element.Resistor _ -> incr r
+      | Element.Capacitor _ -> incr c
+      | Element.Inductor _ -> incr l
+      | Element.Vsource _ -> incr v
+      | Element.Isource _ -> incr i)
+    t.elements;
+  Printf.sprintf "%d nodes, %dR %dC %dL %dV %dI" t.num_nodes !r !c !l !v !i

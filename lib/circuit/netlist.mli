@@ -1,0 +1,49 @@
+(** Circuit netlists: a set of named nodes and linear elements.
+
+    A netlist is built imperatively (the natural style when lowering a
+    routing graph into hundreds of wire segments) and then treated as
+    immutable by the simulator. *)
+
+type t
+
+val create : unit -> t
+
+val ground : Element.node
+(** Node 0. *)
+
+val node : t -> string -> Element.node
+(** [node nl name] returns the node with this name, creating it on
+    first use. The name ["0"] maps to ground. *)
+
+val fresh_node : t -> string -> Element.node
+(** [fresh_node nl prefix] creates a new node with a unique generated
+    name starting with [prefix]. *)
+
+val node_name : t -> Element.node -> string
+(** @raise Invalid_argument for an unknown node id. *)
+
+val find_node : t -> string -> Element.node option
+
+val num_nodes : t -> int
+(** Number of nodes including ground. *)
+
+val add : t -> Element.t -> unit
+(** @raise Invalid_argument when the element fails
+    {!Element.validate}, reuses an existing element name, or mentions
+    an unknown node id. *)
+
+val resistor : t -> ?name:string -> Element.node -> Element.node -> float -> unit
+val capacitor : t -> ?name:string -> Element.node -> Element.node -> float -> unit
+val inductor : t -> ?name:string -> Element.node -> Element.node -> float -> unit
+
+val vsource :
+  t -> ?name:string -> Element.node -> Element.node -> Waveform.t -> unit
+
+val isource :
+  t -> ?name:string -> Element.node -> Element.node -> Waveform.t -> unit
+
+val elements : t -> Element.t list
+(** In insertion order. *)
+
+val stats : t -> string
+(** Human-readable one-line summary: node and element counts. *)

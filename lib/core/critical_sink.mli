@@ -1,0 +1,40 @@
+(** The Critical-Sink Optimal Routing Graph problem (Section 5.1).
+
+    Each sink nᵢ carries a criticality αᵢ ≥ 0 from timing analysis; the
+    objective becomes the weighted sum Σ αᵢ·t(nᵢ) instead of the max.
+    Setting every αᵢ to the same constant minimises average delay; a
+    one-hot α targets a single known-critical sink. *)
+
+val uniform : Geom.Net.t -> float array
+(** All-ones criticalities: the average-delay objective. *)
+
+val one_hot : Geom.Net.t -> critical:int -> float array
+(** α = 1 for sink vertex [critical], 0 elsewhere.
+
+    @raise Invalid_argument unless [critical] is a sink index
+    (1..k). *)
+
+val weighted_delay :
+  model:Delay.Model.t ->
+  tech:Circuit.Technology.t ->
+  alphas:float array ->
+  Routing.t ->
+  float
+(** Σ αᵢ·t(nᵢ) under the given delay model. [alphas.(i)] weights sink
+    vertex i+1.
+
+    @raise Invalid_argument when the weight count differs from the
+    sink count. *)
+
+val ldrg :
+  ?max_edges:int ->
+  model:Delay.Model.t ->
+  tech:Circuit.Technology.t ->
+  alphas:float array ->
+  Routing.t ->
+  Ldrg.trace
+(** The LDRG greedy loop under the weighted objective. *)
+
+val ert_seed :
+  tech:Circuit.Technology.t -> alphas:float array -> Geom.Net.t -> Routing.t
+(** A criticality-aware starting tree: the weighted ERT. *)

@@ -1,0 +1,59 @@
+type config = {
+  seed : int;
+  trials : int;
+  sizes : int list;
+  tech : Circuit.Technology.t;
+  eval_model : Delay.Model.t;
+  search_model : Delay.Model.t;
+}
+
+let default =
+  { seed = 1994;
+    trials = 50;
+    sizes = [ 5; 10; 20; 30 ];
+    tech = Circuit.Technology.table1;
+    eval_model = Delay.Model.Spice Delay.Model.fast_spice;
+    search_model = Delay.Model.Spice Delay.Model.fast_spice }
+
+let accurate =
+  { default with eval_model = Delay.Model.Spice Delay.Model.accurate_spice }
+
+let nets config ~size =
+  let side = config.tech.Circuit.Technology.layout_side in
+  (* Offset the seed by the size so each size draws an independent,
+     individually reproducible stream. *)
+  Geom.Netgen.uniform_batch
+    ~seed:(config.seed + (1_000_003 * size))
+    ~region:(Geom.Rect.square side) ~pins:size ~trials:config.trials
+
+let sample config ~baseline ~routing =
+  let measure = Eval.measure ~model:config.eval_model ~tech:config.tech in
+  let b = measure baseline in
+  let r = Eval.ratio (measure routing) ~baseline:b in
+  { Stats.delay_ratio = r.Eval.delay; cost_ratio = r.Eval.cost }
+
+let per_size config ~size f =
+  let samples = Array.to_list (Array.map f (nets config ~size)) in
+  Stats.summarize samples
+
+let per_size_multi config ~size f =
+  let per_net = Array.to_list (Array.map f (nets config ~size)) in
+  let depth =
+    List.fold_left (fun acc l -> Int.max acc (List.length l)) 0 per_net
+  in
+  if depth = 0 then []
+  else begin
+    let padded =
+      List.map
+        (fun l ->
+          match l with
+          | [] -> invalid_arg "Experiment.per_size_multi: empty sample list"
+          | _ ->
+              let last = List.nth l (List.length l - 1) in
+              Array.init depth (fun i ->
+                  if i < List.length l then List.nth l i else last))
+        per_net
+    in
+    List.init depth (fun i ->
+        Stats.summarize (List.map (fun a -> a.(i)) padded))
+  end

@@ -1,0 +1,47 @@
+(** Experiment driver shared by the benchmark harness and the CLI.
+
+    Reproduces the paper's protocol (Section 4): for each net size,
+    [trials] nets with pins uniform in the layout region of the
+    technology; every method's routing is evaluated with the *same*
+    evaluation model (SPICE in the paper) and normalised to its
+    baseline topology. *)
+
+type config = {
+  seed : int;
+  trials : int;
+  sizes : int list;  (** net sizes (pin counts); the paper uses 5/10/20/30 *)
+  tech : Circuit.Technology.t;
+  eval_model : Delay.Model.t;  (** model used to *report* delay *)
+  search_model : Delay.Model.t;  (** oracle driving greedy searches *)
+}
+
+val default : config
+(** Seed 1994, 50 trials, sizes 5/10/20/30, Table 1 technology,
+    fast-SPICE evaluation and search (the paper's setup, scaled for a
+    laptop run; use {!accurate} to tighten). *)
+
+val accurate : config
+(** Like {!default} with the accurate SPICE profile for evaluation. *)
+
+val nets : config -> size:int -> Geom.Net.t array
+(** The reproducible trial nets for one size. Independent of [trials]
+    prefix-stability: growing [trials] keeps earlier nets unchanged. *)
+
+val sample :
+  config -> baseline:Routing.t -> routing:Routing.t -> Stats.sample
+(** Evaluates both topologies under [eval_model] and returns the
+    normalised sample. *)
+
+val per_size :
+  config -> size:int -> (Geom.Net.t -> Stats.sample) -> Stats.row
+(** Runs one method over all trial nets of a size and aggregates. *)
+
+val per_size_multi :
+  config -> size:int -> (Geom.Net.t -> Stats.sample list) -> Stats.row list
+(** Like {!per_size} for methods that report several samples per net
+    (e.g. LDRG iteration one and iteration two): sample [i] of each
+    net is aggregated into row [i]. Nets that return fewer samples than
+    the maximum are padded with their last sample (a net whose LDRG
+    stopped after one addition contributes that routing to both
+    iteration rows, matching the paper's cumulative per-iteration
+    accounting). *)

@@ -1,0 +1,82 @@
+type step = {
+  edge : int * int;
+  objective_before : float;
+  objective_after : float;
+  cost_before : float;
+  cost_after : float;
+}
+
+type trace = {
+  initial : Routing.t;
+  final : Routing.t;
+  steps : step list;
+  evaluations : int;
+}
+
+let run_objective ?(max_edges = max_int) ?(min_improvement = 1e-9)
+    ?(candidates = Routing.candidate_edges) ~objective initial =
+  let evaluations = ref 0 in
+  let eval r =
+    incr evaluations;
+    objective r
+  in
+  let rec loop current current_obj steps added =
+    if added >= max_edges then (current, steps)
+    else begin
+      let best =
+        List.fold_left
+          (fun best (u, v) ->
+            let trial = Routing.add_edge current u v in
+            let obj = eval trial in
+            match best with
+            | Some (_, _, obj') when obj' <= obj -> best
+            | _ -> Some ((u, v), trial, obj))
+          None (candidates current)
+      in
+      match best with
+      | Some (edge, trial, obj)
+        when obj < current_obj *. (1.0 -. min_improvement) ->
+          let step =
+            { edge;
+              objective_before = current_obj;
+              objective_after = obj;
+              cost_before = Routing.cost current;
+              cost_after = Routing.cost trial }
+          in
+          loop trial obj (step :: steps) (added + 1)
+      | _ -> (current, steps)
+    end
+  in
+  let initial_obj = eval initial in
+  let final, steps = loop initial initial_obj [] 0 in
+  { initial; final; steps = List.rev steps; evaluations = !evaluations }
+
+let run ?max_edges ?candidates ~model ~tech initial =
+  run_objective ?max_edges ?candidates
+    ~objective:(fun r -> Delay.Model.max_delay model ~tech r)
+    initial
+
+let run_budgeted ?max_edges ~max_cost_ratio ~model ~tech initial =
+  if max_cost_ratio < 1.0 then
+    invalid_arg "Ldrg.run_budgeted: max_cost_ratio < 1";
+  let budget = max_cost_ratio *. Routing.cost initial in
+  let candidates r =
+    let slack = budget -. Routing.cost r in
+    List.filter
+      (fun (u, v) ->
+        Geom.Point.manhattan (Routing.point r u) (Routing.point r v) <= slack)
+      (Routing.candidate_edges r)
+  in
+  run_objective ?max_edges ~candidates
+    ~objective:(fun r -> Delay.Model.max_delay model ~tech r)
+    initial
+
+let routing_after trace k =
+  let rec apply r steps k =
+    match (steps, k) with
+    | _, 0 | [], _ -> r
+    | step :: rest, k ->
+        let u, v = step.edge in
+        apply (Routing.add_edge r u v) rest (k - 1)
+  in
+  apply trace.initial trace.steps k

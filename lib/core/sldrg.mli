@@ -1,0 +1,17 @@
+(** The Steiner Low Delay Routing Graph (SLDRG) algorithm — Figure 6.
+
+    Identical greedy loop to {!Ldrg}, but starting from an Iterated
+    1-Steiner tree, so the candidate wires may also join Steiner
+    points. Table 3 normalises its results to the Steiner tree. *)
+
+val initial_tree : Geom.Net.t -> Routing.t
+(** Step 1 of the algorithm: the Iterated 1-Steiner tree over the net. *)
+
+val run :
+  ?max_edges:int ->
+  model:Delay.Model.t ->
+  tech:Circuit.Technology.t ->
+  Geom.Net.t ->
+  Ldrg.trace
+(** Builds the Steiner tree and runs the greedy non-tree loop on it;
+    the trace's [initial] is the Steiner tree. *)

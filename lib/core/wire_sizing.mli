@@ -1,0 +1,40 @@
+(** The Wire-Sized Optimal Routing Graph problem (Section 5.2).
+
+    Two parallel width-w wires between the same pins behave as one
+    width-2w wire, so the non-tree idea generalises to a width function
+    w : E → ℝ. Wider wires have lower resistance and higher
+    capacitance; widening near the source usually pays. This module
+    provides the greedy discrete sizing pass and the parallel-merge
+    observation as code. *)
+
+val wire_area : Routing.t -> float
+(** Σ length × width — the silicon area cost that replaces raw
+    wirelength once widths vary. *)
+
+val size_greedy :
+  ?widths:float list ->
+  ?max_changes:int ->
+  model:Delay.Model.t ->
+  tech:Circuit.Technology.t ->
+  Routing.t ->
+  Routing.t * ((int * int) * float) list
+(** [size_greedy ~model ~tech r] repeatedly bumps the single edge whose
+    widening most reduces the model delay to the next allowed width
+    (default widths 1, 2, 3), while any bump improves. Returns the
+    sized routing and the applied (edge, new-width) changes in order.
+
+    @raise Invalid_argument when [widths] is not strictly increasing
+    or does not start at 1. *)
+
+val merge_parallel_delay :
+  model:Delay.Model.t ->
+  tech:Circuit.Technology.t ->
+  Routing.t ->
+  int * int ->
+  float
+(** Delay of the routing in which the given *existing* edge is doubled
+    in width — the "merged parallel wire" equivalent of adding a second
+    identical wire alongside it. Demonstrates the Section 5.2
+    equivalence; tested against an explicitly duplicated wire.
+
+    @raise Not_found when the edge is absent. *)

@@ -1,0 +1,40 @@
+(** Lowering a routing topology to a simulatable circuit.
+
+    Following the paper's SPICE model (Section 2): wire resistance and
+    capacitance are proportional to length (Table 1 values); each wire
+    is expanded into a chain of lumped π-segments; the source pin is
+    driven by the driver resistance from an ideal step source; and a
+    sink loading capacitance sits at every pin. Wire widths from the
+    WSORG formulation scale resistance down and capacitance up. *)
+
+type segmentation =
+  | Fixed of int  (** every edge becomes exactly this many π-segments *)
+  | Per_length of { unit_length : float; max_segments : int }
+      (** one segment per [unit_length] µm, at least 1, at most
+          [max_segments] — long wires get more segments *)
+
+val default_segmentation : segmentation
+(** [Per_length { unit_length = 1000.0; max_segments = 6 }]. *)
+
+val segments_for : segmentation -> float -> int
+(** Number of segments chosen for an edge of a given length. *)
+
+val source_node_name : string
+(** Name of the driven source-pin node, ["n0"]. *)
+
+val vertex_node_name : int -> string
+(** ["n<i>"] — the circuit node of routing vertex [i]. *)
+
+val circuit_of_routing :
+  ?segmentation:segmentation ->
+  ?include_inductance:bool ->
+  ?input:Circuit.Waveform.t ->
+  tech:Circuit.Technology.t ->
+  Routing.t ->
+  Circuit.Netlist.t * string list
+(** [circuit_of_routing ~tech r] is the netlist together with the node
+    names of the net's sinks (in sink order n1..nk).
+
+    Defaults: {!default_segmentation}, no inductance (the RC model the
+    Elmore comparisons assume; pass [~include_inductance:true] for the
+    full Table 1 RLC model), and a 0→1 V ideal step at t=0. *)

@@ -1,0 +1,74 @@
+type spice_config = {
+  options : Spice.Engine.options;
+  segmentation : Lumping.segmentation;
+  include_inductance : bool;
+}
+
+type t =
+  | Elmore_tree
+  | First_moment
+  | Two_pole
+  | Spice of spice_config
+
+let default_spice =
+  { options = Spice.Engine.default_options;
+    segmentation = Lumping.default_segmentation;
+    include_inductance = false }
+
+let fast_spice =
+  { options = Spice.Engine.fast_options;
+    segmentation = Lumping.Fixed 2;
+    include_inductance = false }
+
+let accurate_spice =
+  { options = Spice.Engine.accurate_options;
+    segmentation = Lumping.Per_length { unit_length = 500.0; max_segments = 10 };
+    include_inductance = false }
+
+let rlc_spice = { default_spice with include_inductance = true }
+
+let name = function
+  | Elmore_tree -> "elmore"
+  | First_moment -> "moment1"
+  | Two_pole -> "two-pole"
+  | Spice { include_inductance = true; _ } -> "spice-rlc"
+  | Spice _ -> "spice"
+
+let spice_horizon ~tech r =
+  (* t50 of a single-pole response is ~0.69 m1; a 4x window comfortably
+     covers realistic pole spreads, and the engine doubles on demand. *)
+  4.0 *. Moments.max_delay ~tech r
+
+let spice_sink_delays config ~tech r =
+  let nl, sink_names =
+    Lumping.circuit_of_routing ~segmentation:config.segmentation
+      ~include_inductance:config.include_inductance ~tech r
+  in
+  let horizon = spice_horizon ~tech r in
+  let delays =
+    Spice.Engine.threshold_delays ~options:config.options nl
+      ~probes:sink_names ~horizon
+  in
+  List.map2
+    (fun v (probe, d) ->
+      match d with
+      | Some t -> (v, t)
+      | None ->
+          failwith
+            (Printf.sprintf "Model: SPICE probe %s never settled" probe))
+    (Routing.sinks r) delays
+
+let sink_delays model ~tech r =
+  match model with
+  | Elmore_tree -> Elmore.sink_delays ~tech r
+  | First_moment -> Moments.sink_delays ~tech r
+  | Two_pole ->
+      let d = Moments.two_pole_delay ~tech r in
+      List.map (fun v -> (v, d.(v))) (Routing.sinks r)
+  | Spice config -> spice_sink_delays config ~tech r
+
+let max_delay model ~tech r =
+  List.fold_left
+    (fun acc (_, d) -> Float.max acc d)
+    0.0
+    (sink_delays model ~tech r)

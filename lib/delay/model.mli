@@ -1,0 +1,53 @@
+(** Pluggable delay oracles.
+
+    The paper evaluates routings with SPICE but steers some heuristics
+    with Elmore delay; the LDRG greedy loop can run against any of
+    these oracles, which is how the repository's oracle-fidelity
+    ablation (experiment X3 in DESIGN.md) is expressed. *)
+
+type spice_config = {
+  options : Spice.Engine.options;
+  segmentation : Lumping.segmentation;
+  include_inductance : bool;
+}
+
+type t =
+  | Elmore_tree
+      (** O(k) tree formula; raises on non-tree routings *)
+  | First_moment
+      (** exact first moment from the conductance matrix; any graph *)
+  | Two_pole
+      (** two-moment 50 % estimate; any graph *)
+  | Spice of spice_config
+      (** full transient simulation, 50 % threshold *)
+
+val default_spice : spice_config
+(** Trapezoidal, per-length segmentation, RC only. *)
+
+val fast_spice : spice_config
+(** Coarse stepping and 3 fixed segments per wire — for greedy loops. *)
+
+val accurate_spice : spice_config
+(** Fine stepping, 6-segment wires — for reported numbers. *)
+
+val rlc_spice : spice_config
+(** Like {!default_spice} with the Table 1 wire inductance included. *)
+
+val name : t -> string
+(** Short label for tables ("elmore", "spice", ...). *)
+
+val sink_delays :
+  t -> tech:Circuit.Technology.t -> Routing.t -> (int * float) list
+(** Delay to every sink, as (vertex, seconds).
+
+    @raise Invalid_argument when [Elmore_tree] is applied to a
+    non-tree routing.
+    @raise Failure when a SPICE simulation fails to settle. *)
+
+val max_delay : t -> tech:Circuit.Technology.t -> Routing.t -> float
+(** The objective t(G) = max over sinks. *)
+
+val spice_horizon : tech:Circuit.Technology.t -> Routing.t -> float
+(** Initial transient window used for SPICE runs: a small multiple of
+    the slowest first moment (the engine extends it if the estimate is
+    short). *)

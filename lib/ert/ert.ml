@@ -1,0 +1,170 @@
+open Circuit
+
+(* Partial-tree state grown one pin at a time. Insertion order is a
+   topological order (parents precede children), which makes each
+   candidate evaluation a pair of linear sweeps. *)
+type state = {
+  points : Geom.Point.t array;
+  rd : float;
+  r_per_um : float;
+  c_per_um : float;
+  c_pin : float;
+  parent : int array;
+  lens : float array;  (* edge length to parent *)
+  in_tree : bool array;
+  order : int array;
+  mutable size : int;
+  (* scratch *)
+  cap : float array;
+  delay : float array;
+}
+
+let make_state ~tech net =
+  let points = Geom.Net.pins net in
+  let n = Array.length points in
+  let lens = Array.make n 0.0 in
+  { points;
+    rd = tech.Technology.driver_resistance;
+    r_per_um = tech.Technology.wire_resistance;
+    c_per_um = tech.Technology.wire_capacitance;
+    c_pin = tech.Technology.sink_capacitance;
+    parent = Array.make n (-1);
+    lens;
+    in_tree =
+      (let a = Array.make n false in
+       a.(0) <- true;
+       a);
+    order =
+      (let a = Array.make n 0 in
+       a.(0) <- 0;
+       a);
+    size = 1;
+    cap = Array.make n 0.0;
+    delay = Array.make n 0.0 }
+
+(* Evaluate the objective of the current tree with candidate pin [v]
+   attached to tree pin [u] by an edge of length [lv]. [objective]
+   folds over (sink, delay) of every connected sink including v. *)
+let eval_candidate st ~u ~v ~lv ~objective =
+  let cw l = st.c_per_um *. l in
+  let rw l = st.r_per_um *. l in
+  (* Subtree capacitances, with the candidate folded into u's chain of
+     ancestors. own(w) includes w's parent-edge wire capacitance. *)
+  for i = 0 to st.size - 1 do
+    let w = st.order.(i) in
+    st.cap.(w) <- st.c_pin +. (if w = 0 then 0.0 else cw st.lens.(w))
+  done;
+  for i = st.size - 1 downto 1 do
+    let w = st.order.(i) in
+    st.cap.(st.parent.(w)) <- st.cap.(st.parent.(w)) +. st.cap.(w)
+  done;
+  let cand_cap = st.c_pin +. cw lv in
+  let rec bump w =
+    st.cap.(w) <- st.cap.(w) +. cand_cap;
+    if w <> 0 then bump st.parent.(w)
+  in
+  bump u;
+  (* Delays root-down. *)
+  st.delay.(0) <- st.rd *. st.cap.(0);
+  for i = 1 to st.size - 1 do
+    let w = st.order.(i) in
+    let ce = cw st.lens.(w) in
+    st.delay.(w) <-
+      st.delay.(st.parent.(w))
+      +. (rw st.lens.(w) *. ((ce /. 2.0) +. st.cap.(w) -. ce))
+  done;
+  let cand_delay =
+    st.delay.(u) +. (rw lv *. ((cw lv /. 2.0) +. st.c_pin))
+  in
+  let acc = ref (objective v cand_delay 0.0) in
+  for i = 1 to st.size - 1 do
+    let w = st.order.(i) in
+    acc := objective w st.delay.(w) !acc
+  done;
+  !acc
+
+let grow st ~objective =
+  let n = Array.length st.points in
+  while st.size < n do
+    let best = ref None in
+    for v = 1 to n - 1 do
+      if not st.in_tree.(v) then
+        for i = 0 to st.size - 1 do
+          let u = st.order.(i) in
+          let lv = Geom.Point.manhattan st.points.(u) st.points.(v) in
+          let score = eval_candidate st ~u ~v ~lv ~objective in
+          match !best with
+          | Some (s, _, _, _) when s <= score -> ()
+          | _ -> best := Some (score, u, v, lv)
+        done
+    done;
+    match !best with
+    | None -> failwith "Ert.grow: no candidate (unreachable)"
+    | Some (_, u, v, lv) ->
+        st.parent.(v) <- u;
+        st.lens.(v) <- lv;
+        st.in_tree.(v) <- true;
+        st.order.(st.size) <- v;
+        st.size <- st.size + 1
+  done
+
+let to_routing st net =
+  let n = Array.length st.points in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (st.parent.(v), v) :: !edges
+  done;
+  Routing.of_net net
+    (List.fold_left
+       (fun g (u, v) ->
+         Graphs.Wgraph.add_edge g u v
+           (Geom.Point.manhattan st.points.(u) st.points.(v)))
+       (Graphs.Wgraph.create n) !edges)
+
+let construct ~tech net =
+  let st = make_state ~tech net in
+  let objective _sink d acc = Float.max d acc in
+  grow st ~objective;
+  to_routing st net
+
+let construct_critical ~tech ~critical net =
+  let k = Geom.Net.num_sinks net in
+  if critical < 1 || critical > k then
+    invalid_arg "Ert.construct_critical: not a sink index";
+  let st = make_state ~tech net in
+  (* Step 1: wire the critical sink straight to the source. *)
+  st.parent.(critical) <- 0;
+  st.lens.(critical) <-
+    Geom.Point.manhattan st.points.(0) st.points.(critical);
+  st.in_tree.(critical) <- true;
+  st.order.(1) <- critical;
+  st.size <- 2;
+  (* Step 2: attach everything else, minimising the critical sink's
+     delay; the tiny uniform term breaks the ties that objective
+     leaves among attachments not on the critical path. *)
+  let objective sink d acc =
+    acc +. ((if sink = critical then 1.0 else 1e-6) *. d)
+  in
+  grow st ~objective;
+  to_routing st net
+
+let construct_weighted ~tech ~alphas net =
+  let sinks = Geom.Net.num_sinks net in
+  if Array.length alphas <> sinks then
+    invalid_arg "Ert.construct_weighted: need one weight per sink";
+  Array.iter
+    (fun a ->
+      if a < 0.0 then
+        invalid_arg "Ert.construct_weighted: negative criticality")
+    alphas;
+  let st = make_state ~tech net in
+  (* A sparse alpha vector (e.g. one-hot) scores every partial tree that
+     excludes the weighted sinks as 0, leaving greedy growth to pick
+     arbitrary, often terrible attachments. A tiny uniform weight keeps
+     every intermediate tree honest without noticeably perturbing the
+     stated objective. *)
+  let alpha_max = Array.fold_left Float.max 0.0 alphas in
+  let tie = 1e-6 *. (alpha_max +. 1.0) in
+  let objective sink d acc = acc +. ((alphas.(sink - 1) +. tie) *. d) in
+  grow st ~objective;
+  to_routing st net

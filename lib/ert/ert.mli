@@ -1,0 +1,38 @@
+(** Elmore Routing Tree construction.
+
+    The ERT algorithm of Boese, Kahng, McCoy and Robins ("Towards
+    Optimal Routing Trees" [4]) grows a tree Prim-style from the
+    source: at every step it connects some unconnected pin to some
+    tree pin, choosing the attachment that minimises the maximum
+    Elmore delay of the resulting partial tree. Boese et al. found the
+    resulting trees within ~2 % of delay-optimal on average, making ERT
+    the strongest tree baseline the paper compares against (Tables 6
+    and 7).
+
+    [construct_weighted] generalises the objective to the
+    criticality-weighted sum Σ αᵢ·t(nᵢ) of the critical-sink
+    formulation (Section 5.1). *)
+
+val construct : tech:Circuit.Technology.t -> Geom.Net.t -> Routing.t
+(** The max-delay ERT over a net (vertex indices = pin indices). *)
+
+val construct_critical :
+  tech:Circuit.Technology.t -> critical:int -> Geom.Net.t -> Routing.t
+(** SERT-C-style construction for a single identified critical sink
+    (Boese, Kahng & Robins [5]): the critical sink is connected to the
+    source *first*, by a direct wire, and the remaining pins are then
+    attached greedily so as to least increase the critical sink's
+    Elmore delay (with a tiny average-delay tie-break).
+
+    @raise Invalid_argument unless [critical] is a sink index 1..k. *)
+
+val construct_weighted :
+  tech:Circuit.Technology.t -> alphas:float array -> Geom.Net.t -> Routing.t
+(** ERT growth minimising Σ αᵢ·t(nᵢ) over connected sinks; [alphas]
+    has one non-negative weight per sink (index 0 = sink n1). A tiny
+    uniform tie-breaking weight (10⁻⁶ of the largest α) is added to
+    every sink so that sparse criticality vectors still produce
+    sensible trees for the unweighted sinks.
+
+    @raise Invalid_argument when the weight count differs from the
+    sink count or any weight is negative. *)

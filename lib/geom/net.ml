@@ -1,0 +1,30 @@
+type t = { pins : Point.t array }
+
+let create pins =
+  if Array.length pins < 2 then
+    invalid_arg "Net.create: a net needs a source and at least one sink";
+  Array.iteri
+    (fun i p ->
+      for j = 0 to i - 1 do
+        if Point.equal pins.(j) p then
+          invalid_arg "Net.create: coincident pins"
+      done)
+    pins;
+  { pins = Array.copy pins }
+
+let of_list l = create (Array.of_list l)
+
+let pins net = Array.copy net.pins
+let pin net i = net.pins.(i)
+let source net = net.pins.(0)
+let size net = Array.length net.pins
+let num_sinks net = Array.length net.pins - 1
+let sinks net = Array.sub net.pins 1 (num_sinks net)
+
+let bounding_box net = Rect.bounding_box net.pins
+
+let pp ppf net =
+  Format.fprintf ppf "@[<hov 2>net(%d pins):@ src=%a@ sinks=@[%a@]@]"
+    (size net) Point.pp (source net)
+    (Format.pp_print_array ~pp_sep:Format.pp_print_space Point.pp)
+    (sinks net)

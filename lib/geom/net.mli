@@ -1,0 +1,30 @@
+(** Signal nets: a source pin and a set of sink pins in the Manhattan
+    plane. Pin 0 is always the source n0; pins 1..k are sinks, following
+    the paper's indexing N = {n0, n1, ..., nk}. *)
+
+type t
+
+val create : Point.t array -> t
+(** [create pins] takes pin 0 as the source.
+
+    @raise Invalid_argument if fewer than 2 pins are given or two pins
+    coincide exactly. *)
+
+val of_list : Point.t list -> t
+
+val pins : t -> Point.t array
+(** All pins; index 0 is the source. The returned array is a copy. *)
+
+val pin : t -> int -> Point.t
+val source : t -> Point.t
+val size : t -> int
+(** Total number of pins, k+1. *)
+
+val num_sinks : t -> int
+(** k, the number of sinks. *)
+
+val sinks : t -> Point.t array
+
+val bounding_box : t -> Rect.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,55 @@
+let fresh_point rng (region : Rect.t) taken =
+  (* Coincident pins would create zero-length wires; redraw on collision.
+     With float coordinates collisions are essentially impossible, but the
+     guard keeps Net.create's invariant unconditional. *)
+  let rec draw () =
+    let p =
+      Point.make
+        (Rng.float_in rng region.Rect.x0 region.Rect.x1)
+        (Rng.float_in rng region.Rect.y0 region.Rect.y1)
+    in
+    if List.exists (Point.equal p) taken then draw () else p
+  in
+  draw ()
+
+let uniform rng ~region ~pins =
+  if pins < 2 then invalid_arg "Netgen.uniform: pins < 2";
+  let acc = ref [] in
+  for _ = 1 to pins do
+    acc := fresh_point rng region !acc :: !acc
+  done;
+  Net.create (Array.of_list !acc)
+
+let uniform_batch ~seed ~region ~pins ~trials =
+  let master = Rng.create seed in
+  Array.init trials (fun _ ->
+      let g = Rng.split master in
+      uniform g ~region ~pins)
+
+let clustered rng ~region ~clusters ~pins =
+  if pins < 2 then invalid_arg "Netgen.clustered: pins < 2";
+  if clusters < 1 then invalid_arg "Netgen.clustered: clusters < 1";
+  let spread_x = 0.05 *. Rect.width region
+  and spread_y = 0.05 *. Rect.height region in
+  let centres =
+    Array.init clusters (fun _ -> fresh_point rng region [])
+  in
+  let clamp v lo hi = Float.max lo (Float.min hi v) in
+  let acc = ref [] in
+  for _ = 1 to pins do
+    let c = Rng.choose rng centres in
+    let rec draw () =
+      let p =
+        Point.make
+          (clamp
+             (c.Point.x +. Rng.float_in rng (-.spread_x) spread_x)
+             region.Rect.x0 region.Rect.x1)
+          (clamp
+             (c.Point.y +. Rng.float_in rng (-.spread_y) spread_y)
+             region.Rect.y0 region.Rect.y1)
+      in
+      if List.exists (Point.equal p) !acc then draw () else p
+    in
+    acc := draw () :: !acc
+  done;
+  Net.create (Array.of_list !acc)

@@ -1,0 +1,27 @@
+(** Random net generation.
+
+    The paper's experiments use nets whose pin locations are "randomly
+    chosen from a uniform distribution in a square layout region"
+    (Section 4), 50 trials per net size. *)
+
+val uniform : Rng.t -> region:Rect.t -> pins:int -> Net.t
+(** [uniform rng ~region ~pins] draws [pins] distinct pin locations
+    uniformly in [region]; pin 0 is the source.
+
+    @raise Invalid_argument if [pins < 2]. *)
+
+val uniform_batch :
+  seed:int -> region:Rect.t -> pins:int -> trials:int -> Net.t array
+(** [uniform_batch ~seed ~region ~pins ~trials] generates a reproducible
+    batch: trial [i] uses an independent generator split off a master
+    generator seeded with [seed], so adding trials never perturbs
+    earlier nets. *)
+
+val clustered :
+  Rng.t -> region:Rect.t -> clusters:int -> pins:int -> Net.t
+(** [clustered rng ~region ~clusters ~pins] places pins around
+    [clusters] uniformly-placed cluster centres with a spread of 5 % of
+    the region size — a harsher, more realistic pin distribution used by
+    the extension experiments.
+
+    @raise Invalid_argument if [pins < 2] or [clusters < 1]. *)

@@ -1,0 +1,70 @@
+let adjacency g =
+  let n = Wgraph.num_vertices g in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (e : Wgraph.edge) ->
+      adj.(e.u) <- (e.v, e.w) :: adj.(e.u);
+      adj.(e.v) <- (e.u, e.w) :: adj.(e.v))
+    (Wgraph.edges g);
+  adj
+
+module Pq = Set.Make (struct
+  type t = float * int
+
+  let compare = compare
+end)
+
+let dijkstra g src =
+  let n = Wgraph.num_vertices g in
+  let adj = adjacency g in
+  let dist = Array.make n infinity in
+  let pred = Array.make n (-1) in
+  dist.(src) <- 0.0;
+  let pq = ref (Pq.singleton (0.0, src)) in
+  while not (Pq.is_empty !pq) do
+    let ((d, u) as min) = Pq.min_elt !pq in
+    pq := Pq.remove min !pq;
+    if d <= dist.(u) then
+      List.iter
+        (fun (v, w) ->
+          let nd = d +. w in
+          if nd < dist.(v) then begin
+            dist.(v) <- nd;
+            pred.(v) <- u;
+            pq := Pq.add (nd, v) !pq
+          end)
+        adj.(u)
+  done;
+  (dist, pred)
+
+let shortest_path g src dst =
+  let dist, pred = dijkstra g src in
+  if dist.(dst) = infinity then raise Not_found;
+  let rec walk v acc = if v = src then src :: acc else walk pred.(v) (v :: acc) in
+  walk dst []
+
+let path_length g src dst =
+  let dist, _ = dijkstra g src in
+  if dist.(dst) = infinity then raise Not_found;
+  dist.(dst)
+
+let hops g src =
+  let n = Wgraph.num_vertices g in
+  let adj = adjacency g in
+  let d = Array.make n max_int in
+  d.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun (v, _) ->
+        if d.(v) = max_int then begin
+          d.(v) <- d.(u) + 1;
+          Queue.add v q
+        end)
+      adj.(u)
+  done;
+  d
+
+let tree_path = shortest_path

@@ -1,0 +1,615 @@
+type config = Nontree.Experiment.config
+
+let measure config r =
+  Nontree.Eval.measure ~model:config.Nontree.Experiment.eval_model
+    ~tech:config.Nontree.Experiment.tech r
+
+let sample_pair config ~baseline ~routing =
+  Nontree.Experiment.sample config ~baseline ~routing
+
+let unit_sample = { Nontree.Stats.delay_ratio = 1.0; cost_ratio = 1.0 }
+
+let table1 config =
+  Format.asprintf
+    "Table 1: SPICE model parameters (0.8 um CMOS)@\n%a@."
+    Circuit.Technology.pp config.Nontree.Experiment.tech
+
+(* Per-iteration aggregation ------------------------------------------- *)
+
+(* For each net: samples.(k) = effect of edge k+1 relative to the
+   routing after k edges; reached.(k) says whether the greedy loop
+   actually added that edge. *)
+let iteration_samples config ~iterations (trace : Nontree.Ldrg.trace) =
+  let steps = List.length trace.Nontree.Ldrg.steps in
+  Array.init iterations (fun i ->
+      let k = i + 1 in
+      if steps >= k then
+        ( sample_pair config
+            ~baseline:(Nontree.Ldrg.routing_after trace (k - 1))
+            ~routing:(Nontree.Ldrg.routing_after trace k),
+          true )
+      else (unit_sample, false))
+
+let iteration_rows ~iterations ~labels traces =
+  List.init iterations (fun i ->
+      let per_net = List.map (fun a -> a.(i)) traces in
+      let reached = List.exists snd per_net in
+      let row =
+        if reached then Some (Nontree.Stats.summarize (List.map fst per_net))
+        else None
+      in
+      (List.nth labels i, row))
+
+let per_iteration_table config ~iterations ~labels ~algorithm =
+  List.concat_map
+    (fun size ->
+      let nets = Nontree.Experiment.nets config ~size in
+      let traces =
+        Array.to_list
+          (Array.map
+             (fun net ->
+               iteration_samples config ~iterations (algorithm net))
+             nets)
+      in
+      List.map
+        (fun (label, row) -> { Table.label; size; row })
+        (iteration_rows ~iterations ~labels traces))
+    config.Nontree.Experiment.sizes
+  (* Group rows so each iteration block lists every size. *)
+  |> List.stable_sort (fun a b ->
+         compare
+           (List.assoc a.Table.label
+              (List.mapi (fun i l -> (l, i)) labels))
+           (List.assoc b.Table.label
+              (List.mapi (fun i l -> (l, i)) labels)))
+
+let simple_table config ~algorithm =
+  List.map
+    (fun size ->
+      let nets = Nontree.Experiment.nets config ~size in
+      let samples =
+        Array.to_list
+          (Array.map
+             (fun net ->
+               let baseline, routing = algorithm net in
+               sample_pair config ~baseline ~routing)
+             nets)
+      in
+      { Table.label = ""; size; row = Some (Nontree.Stats.summarize samples) })
+    config.Nontree.Experiment.sizes
+
+(* Tables --------------------------------------------------------------- *)
+
+let iteration_labels = [ "Iteration One"; "Iteration Two"; "Iteration Three" ]
+
+let table2 ?(iterations = 2) config =
+  per_iteration_table config ~iterations
+    ~labels:iteration_labels
+    ~algorithm:(fun net ->
+      Nontree.Ldrg.run ~model:config.Nontree.Experiment.search_model
+        ~tech:config.Nontree.Experiment.tech
+        (Routing.mst_of_net net))
+
+let table3 config =
+  simple_table config ~algorithm:(fun net ->
+      let trace =
+        Nontree.Sldrg.run ~model:config.Nontree.Experiment.search_model
+          ~tech:config.Nontree.Experiment.tech net
+      in
+      (trace.Nontree.Ldrg.initial, trace.Nontree.Ldrg.final))
+
+let table4 ?(iterations = 2) config =
+  per_iteration_table config ~iterations
+    ~labels:iteration_labels
+    ~algorithm:(fun net ->
+      Nontree.Heuristics.h1 ~model:config.Nontree.Experiment.search_model
+        ~tech:config.Nontree.Experiment.tech
+        (Routing.mst_of_net net))
+
+let table5 config =
+  let run h =
+    simple_table config ~algorithm:(fun net ->
+        let mst = Routing.mst_of_net net in
+        let routed, _ = h ~tech:config.Nontree.Experiment.tech mst in
+        (mst, routed))
+  in
+  (run Nontree.Heuristics.h2, run Nontree.Heuristics.h3)
+
+let table6 config =
+  simple_table config ~algorithm:(fun net ->
+      ( Routing.mst_of_net net,
+        Ert.construct ~tech:config.Nontree.Experiment.tech net ))
+
+let table7 config =
+  simple_table config ~algorithm:(fun net ->
+      let ert = Ert.construct ~tech:config.Nontree.Experiment.tech net in
+      let trace =
+        Nontree.Ldrg.run ~model:config.Nontree.Experiment.search_model
+          ~tech:config.Nontree.Experiment.tech ert
+      in
+      (ert, trace.Nontree.Ldrg.final))
+
+(* Figures --------------------------------------------------------------- *)
+
+type figure = {
+  id : string;
+  description : string;
+  net_size : int;
+  base_delay : float;
+  base_cost : float;
+  final_delay : float;
+  final_cost : float;
+  stages : (float * float) list;
+  before : Routing.t;
+  after : Routing.t;
+  added : (int * int) list;
+}
+
+let figure_of_trace config ~id ~description (trace : Nontree.Ldrg.trace) =
+  let base = measure config trace.Nontree.Ldrg.initial in
+  let final = measure config trace.Nontree.Ldrg.final in
+  let stages =
+    List.mapi
+      (fun k _ ->
+        let r = Nontree.Ldrg.routing_after trace (k + 1) in
+        let m = measure config r in
+        (m.Nontree.Eval.delay, m.Nontree.Eval.cost))
+      trace.Nontree.Ldrg.steps
+  in
+  { id;
+    description;
+    net_size = Routing.num_terminals trace.Nontree.Ldrg.initial;
+    base_delay = base.Nontree.Eval.delay;
+    base_cost = base.Nontree.Eval.cost;
+    final_delay = final.Nontree.Eval.delay;
+    final_cost = final.Nontree.Eval.cost;
+    stages;
+    before = trace.Nontree.Ldrg.initial;
+    after = trace.Nontree.Ldrg.final;
+    added = List.map (fun s -> s.Nontree.Ldrg.edge) trace.Nontree.Ldrg.steps }
+
+(* Deterministic search over the config's net stream for the most
+   figure-worthy instance. *)
+let search_nets config ~size ~scan ~score =
+  let nets = Nontree.Experiment.nets { config with trials = scan } ~size in
+  let best = ref None in
+  Array.iter
+    (fun net ->
+      match score net with
+      | None -> ()
+      | Some (s, payload) -> (
+          match !best with
+          | Some (s', _) when s' <= s -> ()
+          | _ -> best := Some (s, payload)))
+    nets;
+  match !best with
+  | Some (_, payload) -> payload
+  | None -> failwith "Runs: figure search found no instance"
+
+let single_edge_figure config ~id ~size ~scan ~description =
+  search_nets config ~size ~scan ~score:(fun net ->
+      let mst = Routing.mst_of_net net in
+      let trace =
+        Nontree.Ldrg.run ~max_edges:1
+          ~model:config.Nontree.Experiment.search_model
+          ~tech:config.Nontree.Experiment.tech mst
+      in
+      match trace.Nontree.Ldrg.steps with
+      | [] -> None
+      | s :: _ ->
+          let ratio = s.objective_after /. s.objective_before in
+          let cost_ratio = s.cost_after /. s.cost_before in
+          (* Prefer the paper's headline shape: a big delay win bought
+             with little extra wire. *)
+          let score = ratio +. Float.max 0.0 (cost_ratio -. 1.15) in
+          Some (score, figure_of_trace config ~id ~description trace))
+
+let figure1 config =
+  single_edge_figure config ~id:"Figure 1" ~size:4 ~scan:80
+    ~description:
+      "adding one extra edge to a 4-pin MST trades a small wirelength \
+       increase for a large SPICE delay reduction"
+
+let figure2 config =
+  single_edge_figure config ~id:"Figure 2" ~size:10 ~scan:20
+    ~description:
+      "a random 10-pin net where a single extra edge substantially \
+       reduces SPICE delay"
+
+let figure3 config =
+  search_nets config ~size:10 ~scan:20 ~score:(fun net ->
+      let mst = Routing.mst_of_net net in
+      let trace =
+        Nontree.Ldrg.run ~model:config.Nontree.Experiment.search_model
+          ~tech:config.Nontree.Experiment.tech mst
+      in
+      if List.length trace.Nontree.Ldrg.steps < 2 then None
+      else begin
+        let last =
+          List.nth trace.Nontree.Ldrg.steps
+            (List.length trace.Nontree.Ldrg.steps - 1)
+        in
+        let first = List.hd trace.Nontree.Ldrg.steps in
+        Some
+          ( last.objective_after /. first.objective_before,
+            figure_of_trace config ~id:"Figure 3"
+              ~description:
+                "an LDRG execution that adds two or more edges, showing \
+                 the per-iteration delay/wirelength trajectory"
+              trace )
+      end)
+
+let figure5 config =
+  search_nets config ~size:10 ~scan:12 ~score:(fun net ->
+      let trace =
+        Nontree.Sldrg.run ~model:config.Nontree.Experiment.search_model
+          ~tech:config.Nontree.Experiment.tech net
+      in
+      match trace.Nontree.Ldrg.steps with
+      | [] -> None
+      | _ ->
+          let final = List.nth trace.Nontree.Ldrg.steps
+              (List.length trace.Nontree.Ldrg.steps - 1) in
+          let first = List.hd trace.Nontree.Ldrg.steps in
+          Some
+            ( final.objective_after /. first.objective_before,
+              figure_of_trace config ~id:"Figure 5"
+                ~description:
+                  "SLDRG: the greedy loop applied to an Iterated-1-Steiner \
+                   tree (squares are Steiner points)"
+                trace ))
+
+let render_figure f =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (Printf.sprintf "%s: %s\n" f.id f.description);
+  Buffer.add_string buf
+    (Printf.sprintf "  net size: %d pins; baseline delay %.2f ns, wirelength %.0f um\n"
+       f.net_size (f.base_delay *. 1e9) f.base_cost);
+  List.iteri
+    (fun i (d, c) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  after edge %d (%s): delay %.2f ns (%+.1f%%), wirelength %.0f um (%+.1f%%)\n"
+           (i + 1)
+           (let u, v = List.nth f.added i in
+            Printf.sprintf "%d-%d" u v)
+           (d *. 1e9)
+           (100.0 *. ((d /. f.base_delay) -. 1.0))
+           c
+           (100.0 *. ((c /. f.base_cost) -. 1.0))))
+    f.stages;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  final: delay %.2f ns (%.1f%% improvement), wirelength %.0f um (%.1f%% penalty)\n"
+       (f.final_delay *. 1e9)
+       (100.0 *. (1.0 -. (f.final_delay /. f.base_delay)))
+       f.final_cost
+       (100.0 *. ((f.final_cost /. f.base_cost) -. 1.0)));
+  Buffer.contents buf
+
+let save_figure_svgs ~dir f =
+  let slug =
+    String.map (fun c -> if c = ' ' then '_' else Char.lowercase_ascii c) f.id
+  in
+  let before_path = Filename.concat dir (slug ^ "_before.svg") in
+  let after_path = Filename.concat dir (slug ^ "_after.svg") in
+  Routing_svg.render_to_file ~title:(f.id ^ " (before)") before_path f.before;
+  Routing_svg.render_to_file ~title:(f.id ^ " (after)") ~highlight:f.added
+    after_path f.after;
+  [ before_path; after_path ]
+
+(* Extensions ------------------------------------------------------------ *)
+
+let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let ext_csorg config =
+  let tech = config.Nontree.Experiment.tech in
+  let size = 10 in
+  let nets = Nontree.Experiment.nets config ~size in
+  let search = Delay.Model.First_moment in
+  let spice_sink_delay r v =
+    List.assoc v
+      (Delay.Model.sink_delays config.Nontree.Experiment.eval_model ~tech r)
+  in
+  let ratios_ldrg = ref [] and ratios_cs = ref [] and ratios_ert = ref [] in
+  let ratios_sert = ref [] in
+  let cost_cs = ref [] in
+  Array.iter
+    (fun net ->
+      (* The critical sink: farthest pin from the source. *)
+      let src = Geom.Net.source net in
+      let critical = ref 1 in
+      for v = 2 to Geom.Net.num_sinks net do
+        if
+          Geom.Point.manhattan src (Geom.Net.pin net v)
+          > Geom.Point.manhattan src (Geom.Net.pin net !critical)
+        then critical := v
+      done;
+      let critical = !critical in
+      let alphas = Nontree.Critical_sink.one_hot net ~critical in
+      let mst = Routing.mst_of_net net in
+      let base = spice_sink_delay mst critical in
+      let ldrg = (Nontree.Ldrg.run ~model:search ~tech mst).Nontree.Ldrg.final in
+      let cs =
+        (Nontree.Critical_sink.ldrg ~model:search ~tech ~alphas mst)
+          .Nontree.Ldrg.final
+      in
+      let ert_w = Nontree.Critical_sink.ert_seed ~tech ~alphas net in
+      let sert = Ert.construct_critical ~tech ~critical net in
+      ratios_ldrg := (spice_sink_delay ldrg critical /. base) :: !ratios_ldrg;
+      ratios_cs := (spice_sink_delay cs critical /. base) :: !ratios_cs;
+      ratios_ert := (spice_sink_delay ert_w critical /. base) :: !ratios_ert;
+      ratios_sert := (spice_sink_delay sert critical /. base) :: !ratios_sert;
+      cost_cs := (Routing.cost cs /. Routing.cost mst) :: !cost_cs)
+    nets;
+  Printf.sprintf
+    "Extension X1 -- CSORG, critical-sink routing (Section 5.1)\n\
+    \  %d nets of %d pins; criticality one-hot on the farthest sink;\n\
+    \  values are that sink's SPICE delay normalised to the MST.\n\
+    \    plain LDRG (max objective)   : %.3f\n\
+    \    critical-sink LDRG           : %.3f   (cost ratio %.2f)\n\
+    \    criticality-weighted ERT     : %.3f\n\
+    \    SERT-C (direct first wire)   : %.3f\n"
+    (Array.length nets) size (mean !ratios_ldrg) (mean !ratios_cs)
+    (mean !cost_cs) (mean !ratios_ert) (mean !ratios_sert)
+
+let ext_wsorg config =
+  let tech = config.Nontree.Experiment.tech in
+  let size = 10 in
+  let nets = Nontree.Experiment.nets config ~size in
+  let search = Delay.Model.First_moment in
+  let delay r = Delay.Model.max_delay config.Nontree.Experiment.eval_model ~tech r in
+  let d_sized = ref [] and d_ldrg = ref [] and d_both = ref [] in
+  let a_sized = ref [] and a_both = ref [] in
+  Array.iter
+    (fun net ->
+      let mst = Routing.mst_of_net net in
+      let base_delay = delay mst in
+      let base_len = Routing.cost mst in
+      let sized, _ = Nontree.Wire_sizing.size_greedy ~model:search ~tech mst in
+      let ldrg = (Nontree.Ldrg.run ~model:search ~tech mst).Nontree.Ldrg.final in
+      let both, _ = Nontree.Wire_sizing.size_greedy ~model:search ~tech ldrg in
+      d_sized := (delay sized /. base_delay) :: !d_sized;
+      d_ldrg := (delay ldrg /. base_delay) :: !d_ldrg;
+      d_both := (delay both /. base_delay) :: !d_both;
+      a_sized := (Nontree.Wire_sizing.wire_area sized /. base_len) :: !a_sized;
+      a_both := (Nontree.Wire_sizing.wire_area both /. base_len) :: !a_both)
+    nets;
+  Printf.sprintf
+    "Extension X2 -- WSORG, wire sizing (Section 5.2)\n\
+    \  %d nets of %d pins; widths in {1,2,3}; SPICE delay vs MST, silicon\n\
+    \  area (sum of length x width) vs MST wirelength.\n\
+    \    MST + greedy sizing          : delay %.3f, area %.2f\n\
+    \    LDRG graph                   : delay %.3f\n\
+    \    LDRG + greedy sizing         : delay %.3f, area %.2f\n"
+    (Array.length nets) size (mean !d_sized) (mean !a_sized) (mean !d_ldrg)
+    (mean !d_both) (mean !a_both)
+
+let ext_oracle config =
+  let tech = config.Nontree.Experiment.tech in
+  let oracles =
+    [ ("first moment", Delay.Model.First_moment);
+      ("two-pole", Delay.Model.Two_pole);
+      ("fast SPICE", Delay.Model.Spice Delay.Model.fast_spice) ]
+  in
+  let blocks =
+    List.map
+      (fun size ->
+        let nets = Nontree.Experiment.nets config ~size in
+        let lines =
+          List.map
+            (fun (name, oracle) ->
+              let delays = ref [] and costs = ref [] and evals = ref [] in
+              Array.iter
+                (fun net ->
+                  let mst = Routing.mst_of_net net in
+                  let trace = Nontree.Ldrg.run ~model:oracle ~tech mst in
+                  let s =
+                    sample_pair config ~baseline:mst
+                      ~routing:trace.Nontree.Ldrg.final
+                  in
+                  delays := s.Nontree.Stats.delay_ratio :: !delays;
+                  costs := s.Nontree.Stats.cost_ratio :: !costs;
+                  evals :=
+                    float_of_int trace.Nontree.Ldrg.evaluations :: !evals)
+                nets;
+              Printf.sprintf
+                "    %-14s: delay %.3f, cost %.2f, oracle calls %.0f" name
+                (mean !delays) (mean !costs) (mean !evals))
+            oracles
+        in
+        Printf.sprintf "  size %d (%d nets):\n%s" size (Array.length nets)
+          (String.concat "\n" lines))
+      [ 10; 20 ]
+  in
+  Printf.sprintf
+    "Extension X3 -- oracle fidelity inside LDRG (SPICE-evaluated)\n%s\n"
+    (String.concat "\n" blocks)
+
+let ext_rlc config =
+  let tech = config.Nontree.Experiment.tech in
+  let size = 10 in
+  let nets = Nontree.Experiment.nets config ~size in
+  let rc = Delay.Model.Spice Delay.Model.default_spice in
+  let rlc = Delay.Model.Spice Delay.Model.rlc_spice in
+  let mst_shift = ref [] and ldrg_shift = ref [] in
+  let agree = ref 0 in
+  Array.iter
+    (fun net ->
+      let mst = Routing.mst_of_net net in
+      let graph =
+        (Nontree.Ldrg.run ~model:config.Nontree.Experiment.search_model ~tech
+           mst)
+          .Nontree.Ldrg.final
+      in
+      let d model r = Delay.Model.max_delay model ~tech r in
+      let mst_rc = d rc mst and mst_rlc = d rlc mst in
+      let g_rc = d rc graph and g_rlc = d rlc graph in
+      mst_shift := (mst_rlc /. mst_rc) :: !mst_shift;
+      ldrg_shift := (g_rlc /. g_rc) :: !ldrg_shift;
+      if g_rc < mst_rc = (g_rlc < mst_rlc) then incr agree)
+    nets;
+  Printf.sprintf
+    "Extension X4 -- RC vs RLC evaluation (Table 1 inductance, 492 fH/um)\n\
+    \  %d nets of %d pins.\n\
+    \    RLC/RC delay ratio, MST topologies  : %.5f\n\
+    \    RLC/RC delay ratio, LDRG topologies : %.5f\n\
+    \    LDRG-vs-MST winner agreement        : %d/%d nets\n"
+    (Array.length nets) size (mean !mst_shift) (mean !ldrg_shift) !agree
+    (Array.length nets)
+
+let ext_trees config =
+  let tech = config.Nontree.Experiment.tech in
+  let size = 10 in
+  let nets = Nontree.Experiment.nets config ~size in
+  let seeds =
+    [ ("MST", fun net -> Routing.mst_of_net net);
+      ("PD (c=0.5)", fun net -> Trees.Pd.construct ~c:0.5 net);
+      ("BRBC (eps=0.5)", fun net -> Trees.Brbc.construct ~epsilon:0.5 net);
+      ("ERT", fun net -> Ert.construct ~tech net) ]
+  in
+  let lines =
+    List.map
+      (fun (name, build) ->
+        let seed_delay = ref [] and seed_cost = ref [] in
+        let ldrg_gain = ref [] and win = ref 0 in
+        Array.iter
+          (fun net ->
+            let mst = Routing.mst_of_net net in
+            let base = measure config mst in
+            let seed_tree = build net in
+            let sm = measure config seed_tree in
+            let trace =
+              Nontree.Ldrg.run ~model:config.Nontree.Experiment.search_model
+                ~tech seed_tree
+            in
+            let fm = measure config trace.Nontree.Ldrg.final in
+            seed_delay :=
+              (sm.Nontree.Eval.delay /. base.Nontree.Eval.delay) :: !seed_delay;
+            seed_cost :=
+              (sm.Nontree.Eval.cost /. base.Nontree.Eval.cost) :: !seed_cost;
+            ldrg_gain :=
+              (fm.Nontree.Eval.delay /. sm.Nontree.Eval.delay) :: !ldrg_gain;
+            if fm.Nontree.Eval.delay < sm.Nontree.Eval.delay *. (1.0 -. 1e-9)
+            then incr win)
+          nets;
+        Printf.sprintf
+          "    %-15s delay %.3f cost %.2f (vs MST) | LDRG on it: x%.3f delay, wins %d/%d"
+          name (mean !seed_delay) (mean !seed_cost) (mean !ldrg_gain) !win
+          (Array.length nets))
+      seeds
+  in
+  Printf.sprintf
+    "Extension X5 -- LDRG on different starting trees (%d nets of %d pins)\n%s\n"
+    (Array.length nets) size
+    (String.concat "\n" lines)
+
+let ext_budget config =
+  let tech = config.Nontree.Experiment.tech in
+  let size = 10 in
+  let nets = Nontree.Experiment.nets config ~size in
+  let budgets = [ 1.05; 1.1; 1.2; 1.5; infinity ] in
+  let lines =
+    List.map
+      (fun budget ->
+        let delays = ref [] and costs = ref [] in
+        Array.iter
+          (fun net ->
+            let mst = Routing.mst_of_net net in
+            let trace =
+              if budget = infinity then
+                Nontree.Ldrg.run
+                  ~model:config.Nontree.Experiment.search_model ~tech mst
+              else
+                Nontree.Ldrg.run_budgeted ~max_cost_ratio:budget
+                  ~model:config.Nontree.Experiment.search_model ~tech mst
+            in
+            let s =
+              sample_pair config ~baseline:mst
+                ~routing:trace.Nontree.Ldrg.final
+            in
+            delays := s.Nontree.Stats.delay_ratio :: !delays;
+            costs := s.Nontree.Stats.cost_ratio :: !costs)
+          nets;
+        Printf.sprintf "    budget %-8s delay %.3f, cost %.3f"
+          (if budget = infinity then "inf" else Printf.sprintf "%.2fx" budget)
+          (mean !delays) (mean !costs))
+      budgets
+  in
+  Printf.sprintf
+    "Extension X6 -- wirelength-budgeted LDRG (%d nets of %d pins)\n\
+    \  candidate wires are admitted only while total wirelength stays\n\
+    \  within the budget times the MST wirelength.\n%s\n"
+    (Array.length nets) size
+    (String.concat "\n" lines)
+
+let ext_prune config =
+  let tech = config.Nontree.Experiment.tech in
+  let size = 10 in
+  let nets = Nontree.Experiment.nets config ~size in
+  let search = config.Nontree.Experiment.search_model in
+  let d_ldrg = ref [] and c_ldrg = ref [] in
+  let d_pruned = ref [] and c_pruned = ref [] in
+  let removed = ref 0 in
+  Array.iter
+    (fun net ->
+      let mst = Routing.mst_of_net net in
+      let base = measure config mst in
+      let ldrg = (Nontree.Ldrg.run ~model:search ~tech mst).Nontree.Ldrg.final in
+      let prune = Nontree.Prune.run ~model:search ~tech ldrg in
+      let lm = measure config ldrg in
+      let pm = measure config prune.Nontree.Prune.final in
+      d_ldrg := (lm.Nontree.Eval.delay /. base.Nontree.Eval.delay) :: !d_ldrg;
+      c_ldrg := (lm.Nontree.Eval.cost /. base.Nontree.Eval.cost) :: !c_ldrg;
+      d_pruned := (pm.Nontree.Eval.delay /. base.Nontree.Eval.delay) :: !d_pruned;
+      c_pruned := (pm.Nontree.Eval.cost /. base.Nontree.Eval.cost) :: !c_pruned;
+      removed := !removed + List.length prune.Nontree.Prune.removals)
+    nets;
+  Printf.sprintf
+    "Extension X7 -- delay-preserving pruning after LDRG (%d nets of %d pins)\n\
+    \  remove edges while the delay stays within 0.1%%; vs MST.\n\
+    \    LDRG            : delay %.3f, cost %.3f\n\
+    \    LDRG + prune    : delay %.3f, cost %.3f  (%.1f edges removed/net)\n"
+    (Array.length nets) size (mean !d_ldrg) (mean !c_ldrg) (mean !d_pruned)
+    (mean !c_pruned)
+    (float_of_int !removed /. float_of_int (Array.length nets))
+
+let ext_sensitivity config =
+  let size = 10 in
+  let nets = Nontree.Experiment.nets config ~size in
+  let base_tech = config.Nontree.Experiment.tech in
+  (* Vary the driver strength: strong drivers make wire resistance the
+     bottleneck (extra wires pay); weak drivers make total capacitance
+     the bottleneck (extra wires hurt). *)
+  let drivers = [ 25.0; 50.0; 100.0; 200.0; 400.0; 800.0 ] in
+  let lines =
+    List.map
+      (fun rd ->
+        let tech = { base_tech with Circuit.Technology.driver_resistance = rd } in
+        let local = { config with Nontree.Experiment.tech = tech } in
+        let delays = ref [] and costs = ref [] and wins = ref 0 in
+        Array.iter
+          (fun net ->
+            let mst = Routing.mst_of_net net in
+            let trace =
+              Nontree.Ldrg.run ~model:local.Nontree.Experiment.search_model
+                ~tech mst
+            in
+            let s =
+              sample_pair local ~baseline:mst ~routing:trace.Nontree.Ldrg.final
+            in
+            delays := s.Nontree.Stats.delay_ratio :: !delays;
+            costs := s.Nontree.Stats.cost_ratio :: !costs;
+            if Nontree.Stats.winner s then incr wins)
+          nets;
+        Printf.sprintf "    driver %5.0f Ohm : delay %.3f, cost %.3f, wins %d/%d"
+          rd (mean !delays) (mean !costs) !wins (Array.length nets))
+      drivers
+  in
+  Printf.sprintf
+    "Extension X8 -- driver-strength sensitivity (%d nets of %d pins)\n\
+    \  LDRG vs MST as the driver resistance sweeps around Table 1's 100 Ohm;\n\
+    \  wire parameters fixed. Strong drivers reward extra wires, weak\n\
+    \  drivers punish the added capacitance.\n%s\n"
+    (Array.length nets) size
+    (String.concat "\n" lines)

@@ -1,0 +1,109 @@
+(** One entry point per paper artefact (see DESIGN.md experiment index).
+
+    Tables take an {!Nontree.Experiment.config} so trial counts, sizes
+    and oracle fidelity can be scaled from the command line; each
+    returns rows ready for {!Table.render}. *)
+
+type config = Nontree.Experiment.config
+
+val table1 : config -> string
+(** The Table 1 technology constants actually in use. *)
+
+val table2 : ?iterations:int -> config -> Table.iter_row list
+(** LDRG vs MST, with per-iteration rows: iteration k is the effect of
+    the k-th added wire relative to the routing after k−1 additions;
+    nets whose greedy loop stopped earlier contribute a 1.0 sample
+    (and a row is NA when no net reached that iteration). *)
+
+val table3 : config -> Table.iter_row list
+(** SLDRG vs the Iterated-1-Steiner tree. *)
+
+val table4 : ?iterations:int -> config -> Table.iter_row list
+(** H1 vs MST, per-iteration as in {!table2}. *)
+
+val table5 : config -> Table.iter_row list * Table.iter_row list
+(** (H2 rows, H3 rows), both vs MST. H2/H3 apply their single edge
+    unconditionally, so all-cases delay can exceed 1. *)
+
+val table6 : config -> Table.iter_row list
+(** ERT vs MST. *)
+
+val table7 : config -> Table.iter_row list
+(** ERT-seeded LDRG vs ERT. *)
+
+(** {1 Figures} *)
+
+type figure = {
+  id : string;
+  description : string;
+  net_size : int;
+  base_delay : float;  (** seconds, SPICE *)
+  base_cost : float;
+  final_delay : float;
+  final_cost : float;
+  stages : (float * float) list;
+      (** per-greedy-stage (delay, cost) after each added edge *)
+  before : Routing.t;
+  after : Routing.t;
+  added : (int * int) list;
+}
+
+val figure1 : config -> figure
+(** A 4-pin net where one extra wire gives a large SPICE delay
+    reduction at a small wirelength penalty (the paper's Figure 1 shows
+    −23 % delay for +9 % wire); found by deterministic search over the
+    config's net stream. *)
+
+val figure2 : config -> figure
+(** Same on a 10-pin net (paper: −33.3 % delay, +21.5 % wire). *)
+
+val figure3 : config -> figure
+(** A 10-pin LDRG run that performs two iterations, with the delay and
+    wirelength trajectory after each added edge (paper's Figure 3). *)
+
+val figure5 : config -> figure
+(** SLDRG on a 10-pin net: Steiner baseline, then added wires (paper:
+    −32 % delay, +25 % wire). *)
+
+val render_figure : figure -> string
+
+val save_figure_svgs : dir:string -> figure -> string list
+(** Writes before/after SVG renderings; returns the paths written. *)
+
+(** {1 Extension experiments (paper Section 5)} *)
+
+val ext_csorg : config -> string
+(** Critical-sink routing: one-hot criticality on the farthest sink;
+    compares MST, plain LDRG, critical-sink LDRG and the weighted-ERT
+    seed on that sink's SPICE delay. *)
+
+val ext_wsorg : config -> string
+(** Wire sizing: greedy discrete sizing on the MST and on the LDRG
+    graph; reports delay vs MST and silicon area vs MST wirelength. *)
+
+val ext_oracle : config -> string
+(** Oracle-fidelity ablation: LDRG steered by the first moment, the
+    two-pole estimate, or fast SPICE — all evaluated with SPICE. *)
+
+val ext_rlc : config -> string
+(** RC vs RLC ablation: does the 492 fH/µm wire inductance change
+    either the measured delays or who wins? *)
+
+val ext_trees : config -> string
+(** Starting-tree ablation: seed LDRG with the MST, a Prim–Dijkstra
+    tradeoff tree (c = 0.5), a BRBC tree (ε = 0.5) and an ERT, and
+    report each seed's delay/cost and how much LDRG still improves it
+    — the "non-tree wires help any tree" claim generalised beyond
+    Tables 2 and 7. *)
+
+val ext_budget : config -> string
+(** Wirelength-budgeted LDRG sweep: the delay/wire tradeoff curve as
+    the admissible cost ratio grows from 1.05x to unconstrained. *)
+
+val ext_prune : config -> string
+(** LDRG followed by the delay-preserving prune pass: how much of the
+    wirelength penalty can be reclaimed for free. *)
+
+val ext_sensitivity : config -> string
+(** Driver-strength sweep: where the capacitance/resistance trade that
+    powers non-tree routing breaks even. *)

@@ -1,0 +1,82 @@
+type iter_row = {
+  label : string;
+  size : int;
+  row : Nontree.Stats.row option;
+}
+
+let opt_cell = function
+  | None -> "  NA"
+  | Some x -> Printf.sprintf "%4.2f" x
+
+let row_cells = function
+  | None -> "  NA   NA    NA    NA   NA"
+  | Some (r : Nontree.Stats.row) ->
+      Printf.sprintf "%4.2f %4.2f  %4.0f  %s %s" r.Nontree.Stats.all_delay
+        r.Nontree.Stats.all_cost r.Nontree.Stats.pct_winners
+        (opt_cell r.Nontree.Stats.win_delay)
+        (opt_cell r.Nontree.Stats.win_cost)
+
+let group_by_label rows =
+  List.fold_left
+    (fun acc r ->
+      match acc with
+      | (label, group) :: rest when label = r.label ->
+          (label, r :: group) :: rest
+      | _ -> (r.label, [ r ]) :: acc)
+    [] rows
+  |> List.rev_map (fun (label, group) -> (label, List.rev group))
+
+let render ~title ~baseline rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%s\n" title);
+  Buffer.add_string buf
+    (Printf.sprintf "(all values normalised to %s)\n" baseline);
+  Buffer.add_string buf
+    "                      |    All Cases    | Pct  |  Winners Only\n";
+  Buffer.add_string buf
+    "                 size | Delay Cost      | Wins | Delay Cost\n";
+  Buffer.add_string buf
+    "  --------------------+-----------------+------+---------------\n";
+  List.iter
+    (fun (label, group) ->
+      List.iteri
+        (fun i r ->
+          let tag = if i = 0 then Printf.sprintf "%-17s" label else String.make 17 ' ' in
+          Buffer.add_string buf
+            (Printf.sprintf "  %s %3d |  %s\n" tag r.size (row_cells r.row)))
+        group)
+    (group_by_label rows);
+  Buffer.contents buf
+
+let render_simple ~title ~baseline rows =
+  render ~title ~baseline
+    (List.map (fun (size, row) -> { label = ""; size; row = Some row }) rows)
+
+let markdown ~title ~baseline rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "### %s\n\n" title);
+  Buffer.add_string buf
+    (Printf.sprintf "_Normalised to %s._\n\n" baseline);
+  Buffer.add_string buf
+    "| Stage | Size | Delay (all) | Cost (all) | % Winners | Delay (winners) | Cost (winners) |\n";
+  Buffer.add_string buf "|---|---|---|---|---|---|---|\n";
+  List.iter
+    (fun r ->
+      match r.row with
+      | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "| %s | %d | NA | NA | NA | NA | NA |\n" r.label
+               r.size)
+      | Some row ->
+          Buffer.add_string buf
+            (Printf.sprintf "| %s | %d | %.2f | %.2f | %.0f | %s | %s |\n"
+               r.label r.size row.Nontree.Stats.all_delay
+               row.Nontree.Stats.all_cost row.Nontree.Stats.pct_winners
+               (match row.Nontree.Stats.win_delay with
+               | None -> "NA"
+               | Some x -> Printf.sprintf "%.2f" x)
+               (match row.Nontree.Stats.win_cost with
+               | None -> "NA"
+               | Some x -> Printf.sprintf "%.2f" x)))
+    rows;
+  Buffer.contents buf

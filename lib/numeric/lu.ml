@@ -1,0 +1,113 @@
+type t = {
+  n : int;
+  lu : float array;  (* packed LU factors, row-major *)
+  perm : int array;  (* row permutation: row i of LU is row perm.(i) of A *)
+  sign : float;      (* parity of the permutation *)
+  scratch : float array;  (* reused by solve_in_place *)
+}
+
+exception Singular of int
+
+let pivot_floor = 1e-300
+
+let factor m =
+  let n = Matrix.rows m in
+  if Matrix.cols m <> n then invalid_arg "Lu.factor: matrix not square";
+  let a = Array.make (n * n) 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      a.((i * n) + j) <- Matrix.get m i j
+    done
+  done;
+  let perm = Array.init n Fun.id in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* Partial pivoting: bring the largest |entry| of column k up. *)
+    let p = ref k in
+    for i = k + 1 to n - 1 do
+      if abs_float a.((i * n) + k) > abs_float a.((!p * n) + k) then p := i
+    done;
+    if !p <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = a.((k * n) + j) in
+        a.((k * n) + j) <- a.((!p * n) + j);
+        a.((!p * n) + j) <- tmp
+      done;
+      let tmp = perm.(k) in
+      perm.(k) <- perm.(!p);
+      perm.(!p) <- tmp;
+      sign := -. !sign
+    end;
+    let pivot = a.((k * n) + k) in
+    if abs_float pivot < pivot_floor then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let f = a.((i * n) + k) /. pivot in
+      a.((i * n) + k) <- f;
+      if f <> 0.0 then begin
+        let row_i = i * n and row_k = k * n in
+        for j = k + 1 to n - 1 do
+          Array.unsafe_set a (row_i + j)
+            (Array.unsafe_get a (row_i + j)
+            -. (f *. Array.unsafe_get a (row_k + j)))
+        done
+      end
+    done
+  done;
+  { n; lu = a; perm; sign = !sign; scratch = Array.make n 0.0 }
+
+let solve_in_place t b =
+  let n = t.n in
+  if Array.length b <> n then invalid_arg "Lu.solve: length mismatch";
+  let lu = t.lu in
+  (* Apply permutation. *)
+  let y = t.scratch in
+  for i = 0 to n - 1 do
+    y.(i) <- b.(t.perm.(i))
+  done;
+  (* Forward substitution Ly' = Pb (L has unit diagonal). *)
+  for i = 1 to n - 1 do
+    let row = i * n in
+    let s = ref (Array.unsafe_get y i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Array.unsafe_get lu (row + j) *. Array.unsafe_get y j)
+    done;
+    Array.unsafe_set y i !s
+  done;
+  (* Back substitution Ux = y'. *)
+  for i = n - 1 downto 0 do
+    let row = i * n in
+    let s = ref (Array.unsafe_get y i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Array.unsafe_get lu (row + j) *. Array.unsafe_get y j)
+    done;
+    Array.unsafe_set y i (!s /. Array.unsafe_get lu (row + i))
+  done;
+  Array.blit y 0 b 0 n
+
+let solve t b =
+  let x = Array.copy b in
+  solve_in_place t x;
+  x
+
+let solve_matrix m b = solve (factor m) b
+
+let det t =
+  let d = ref t.sign in
+  for i = 0 to t.n - 1 do
+    d := !d *. t.lu.((i * t.n) + i)
+  done;
+  !d
+
+let inverse m =
+  let n = Matrix.rows m in
+  let f = factor m in
+  let inv = Matrix.create n n in
+  for j = 0 to n - 1 do
+    let e = Array.make n 0.0 in
+    e.(j) <- 1.0;
+    let x = solve f e in
+    for i = 0 to n - 1 do
+      Matrix.set inv i j x.(i)
+    done
+  done;
+  inv

@@ -1,0 +1,39 @@
+(** LU factorisation with partial pivoting, and linear solves.
+
+    The transient engine factors the MNA system matrix once per
+    topology and timestep size, then back-substitutes once per step, so
+    factorisation and solving are exposed separately. *)
+
+type t
+(** A factorisation PA = LU of a square matrix. *)
+
+exception Singular of int
+(** Raised (with the offending pivot column) when a pivot is exactly
+    zero or smaller than an absolute floor of 1e-300 — circuits whose
+    MNA matrix is singular are malformed (e.g. a floating node). *)
+
+val factor : Matrix.t -> t
+(** @raise Singular when no usable pivot exists.
+    @raise Invalid_argument when the matrix is not square. *)
+
+val solve : t -> float array -> float array
+(** [solve lu b] returns x with Ax = b.
+
+    @raise Invalid_argument on a length mismatch. *)
+
+val solve_in_place : t -> float array -> unit
+(** Like {!solve} but overwrites [b] with the solution, avoiding
+    allocation in the transient inner loop. *)
+
+val solve_matrix : Matrix.t -> float array -> float array
+(** One-shot convenience: factor then solve. *)
+
+val det : t -> float
+(** Determinant of the factored matrix (product of pivots, signed by
+    the permutation parity). *)
+
+val inverse : Matrix.t -> Matrix.t
+(** Full inverse (used only in tests and small resistance-matrix
+    computations).
+
+    @raise Singular when the matrix is singular. *)

@@ -1,0 +1,44 @@
+(** Dense square/rectangular matrices in row-major order.
+
+    Circuit matrices from modified nodal analysis of signal nets are
+    small (tens to a few hundred nodes), so a dense representation with
+    an O(n³) factorisation is both simple and fast enough; the paper's
+    nets peak around 30 pins ≈ a few hundred MNA unknowns. *)
+
+type t
+
+val create : int -> int -> t
+(** [create rows cols] is the zero matrix. *)
+
+val identity : int -> t
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+val update : t -> int -> int -> (float -> float) -> unit
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j x] performs [m.(i,j) <- m.(i,j) + x] — the "stamping"
+    primitive of MNA assembly. *)
+
+val copy : t -> t
+val transpose : t -> t
+val mul : t -> t -> t
+val mul_vec : t -> float array -> float array
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : float -> t -> t
+val map : (float -> float) -> t -> t
+
+val data : t -> float array
+(** The underlying row-major storage (entry (i,j) at [i*cols + j]).
+    Exposed for performance-critical inner loops (the transient
+    integrator); mutating it mutates the matrix. *)
+
+val of_arrays : float array array -> t
+val to_arrays : t -> float array array
+
+val max_abs : t -> float
+val frobenius : t -> float
+
+val pp : Format.formatter -> t -> unit

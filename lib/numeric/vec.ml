@@ -1,0 +1,45 @@
+let make n x = Array.make n x
+let zeros n = Array.make n 0.0
+let copy = Array.copy
+
+let check_same_length a b name =
+  if Array.length a <> Array.length b then
+    invalid_arg (name ^ ": length mismatch")
+
+let add a b =
+  check_same_length a b "Vec.add";
+  Array.mapi (fun i x -> x +. b.(i)) a
+
+let sub a b =
+  check_same_length a b "Vec.sub";
+  Array.mapi (fun i x -> x -. b.(i)) a
+
+let scale s a = Array.map (fun x -> s *. x) a
+
+let axpy a x y =
+  check_same_length x y "Vec.axpy";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let dot a b =
+  check_same_length a b "Vec.dot";
+  let s = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun m x -> Float.max m (abs_float x)) 0.0 a
+
+let max_abs_diff a b =
+  check_same_length a b "Vec.max_abs_diff";
+  let m = ref 0.0 in
+  for i = 0 to Array.length a - 1 do
+    m := Float.max !m (abs_float (a.(i) -. b.(i)))
+  done;
+  !m
+
+let lerp a b t = a +. (t *. (b -. a))

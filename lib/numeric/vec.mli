@@ -1,0 +1,19 @@
+(** Dense float vectors (thin helpers over [float array]). *)
+
+val make : int -> float -> float array
+val zeros : int -> float array
+val copy : float array -> float array
+val add : float array -> float array -> float array
+val sub : float array -> float array -> float array
+val scale : float -> float array -> float array
+val axpy : float -> float array -> float array -> unit
+(** [axpy a x y] performs [y := a*x + y] in place. *)
+
+val dot : float array -> float array -> float
+val norm2 : float array -> float
+val norm_inf : float array -> float
+val max_abs_diff : float array -> float array -> float
+(** L∞ distance between two vectors of equal length. *)
+
+val lerp : float -> float -> float -> float
+(** [lerp a b t] is the linear interpolation [a + t*(b-a)]. *)

@@ -1,0 +1,87 @@
+type t = { r : int; c : int; a : Complex.t array }
+
+let create r c =
+  if r < 0 || c < 0 then invalid_arg "Zmatrix.create: negative dimension";
+  { r; c; a = Array.make (r * c) Complex.zero }
+
+let rows m = m.r
+let cols m = m.c
+
+let index m i j =
+  if i < 0 || i >= m.r || j < 0 || j >= m.c then
+    invalid_arg "Zmatrix: index out of range";
+  (i * m.c) + j
+
+let get m i j = m.a.(index m i j)
+let set m i j x = m.a.(index m i j) <- x
+let add_to m i j x = m.a.(index m i j) <- Complex.add m.a.(index m i j) x
+
+let of_real_pair ~re ~im =
+  let r = Matrix.rows re and c = Matrix.cols re in
+  if Matrix.rows im <> r || Matrix.cols im <> c then
+    invalid_arg "Zmatrix.of_real_pair: dimension mismatch";
+  let m = create r c in
+  for i = 0 to r - 1 do
+    for j = 0 to c - 1 do
+      m.a.((i * c) + j) <- { Complex.re = Matrix.get re i j; im = Matrix.get im i j }
+    done
+  done;
+  m
+
+let mul_vec m v =
+  if m.c <> Array.length v then invalid_arg "Zmatrix.mul_vec: dimension mismatch";
+  Array.init m.r (fun i ->
+      let s = ref Complex.zero in
+      for j = 0 to m.c - 1 do
+        s := Complex.add !s (Complex.mul m.a.((i * m.c) + j) v.(j))
+      done;
+      !s)
+
+exception Singular of int
+
+let solve m b =
+  let n = m.r in
+  if m.c <> n then invalid_arg "Zmatrix.solve: matrix not square";
+  if Array.length b <> n then invalid_arg "Zmatrix.solve: length mismatch";
+  let a = Array.copy m.a in
+  let x = Array.copy b in
+  let mag z = Complex.norm z in
+  for k = 0 to n - 1 do
+    (* Partial pivoting on magnitude. *)
+    let p = ref k in
+    for i = k + 1 to n - 1 do
+      if mag a.((i * n) + k) > mag a.((!p * n) + k) then p := i
+    done;
+    if !p <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = a.((k * n) + j) in
+        a.((k * n) + j) <- a.((!p * n) + j);
+        a.((!p * n) + j) <- tmp
+      done;
+      let tmp = x.(k) in
+      x.(k) <- x.(!p);
+      x.(!p) <- tmp
+    end;
+    let pivot = a.((k * n) + k) in
+    if mag pivot < 1e-300 then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let f = Complex.div a.((i * n) + k) pivot in
+      if f <> Complex.zero then begin
+        a.((i * n) + k) <- f;
+        for j = k + 1 to n - 1 do
+          a.((i * n) + j) <-
+            Complex.sub a.((i * n) + j) (Complex.mul f a.((k * n) + j))
+        done;
+        x.(i) <- Complex.sub x.(i) (Complex.mul f x.(k))
+      end
+    done
+  done;
+  (* Back substitution. *)
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := Complex.sub !s (Complex.mul a.((i * n) + j) x.(j))
+    done;
+    x.(i) <- Complex.div !s a.((i * n) + i)
+  done;
+  x

@@ -1,0 +1,30 @@
+(** Dense complex matrices and LU solves, for AC (frequency-domain)
+    circuit analysis: the phasor system (G + jωC)·x = b. *)
+
+type t
+
+val create : int -> int -> t
+(** Zero matrix. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val get : t -> int -> int -> Complex.t
+val set : t -> int -> int -> Complex.t -> unit
+val add_to : t -> int -> int -> Complex.t -> unit
+
+val of_real_pair : re:Matrix.t -> im:Matrix.t -> t
+(** [of_real_pair ~re ~im] is [re + i·im] — how (G + jωC) is formed.
+
+    @raise Invalid_argument on dimension mismatch. *)
+
+val mul_vec : t -> Complex.t array -> Complex.t array
+
+exception Singular of int
+
+val solve : t -> Complex.t array -> Complex.t array
+(** LU with partial (magnitude) pivoting; the matrix argument is not
+    modified.
+
+    @raise Singular when a pivot vanishes.
+    @raise Invalid_argument when not square or lengths mismatch. *)

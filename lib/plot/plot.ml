@@ -1,0 +1,189 @@
+type series = { label : string; points : (float * float) array }
+type axis = Linear | Log10
+
+type t = {
+  width : int;
+  height : int;
+  x_axis : axis;
+  x_label : string;
+  y_label : string;
+  title : string;
+  series : series list;
+}
+
+let palette = [| "#2563eb"; "#dc2626"; "#059669"; "#d97706"; "#7c3aed" |]
+
+let create ?(width = 640) ?(height = 400) ?(x_axis = Linear) ?(x_label = "")
+    ?(y_label = "") ~title series =
+  if List.for_all (fun s -> Array.length s.points = 0) series then
+    invalid_arg "Plot.create: no data";
+  (match x_axis with
+  | Log10 ->
+      List.iter
+        (fun s ->
+          Array.iter
+            (fun (x, _) ->
+              if x <= 0.0 then
+                invalid_arg "Plot.create: log axis needs positive x")
+            s.points)
+        series
+  | Linear -> ());
+  { width; height; x_axis; x_label; y_label; title; series }
+
+let data_range t =
+  let xmin = ref infinity and xmax = ref neg_infinity in
+  let ymin = ref infinity and ymax = ref neg_infinity in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun (x, y) ->
+          let x = match t.x_axis with Linear -> x | Log10 -> log10 x in
+          if x < !xmin then xmin := x;
+          if x > !xmax then xmax := x;
+          if y < !ymin then ymin := y;
+          if y > !ymax then ymax := y)
+        s.points)
+    t.series;
+  let pad_y = Float.max 1e-30 (0.05 *. (!ymax -. !ymin)) in
+  let pad_x = Float.max 1e-30 (0.02 *. (!xmax -. !xmin)) in
+  (!xmin -. pad_x, !xmax +. pad_x, !ymin -. pad_y, !ymax +. pad_y)
+
+(* A few round tick values covering [lo, hi]. *)
+let ticks lo hi =
+  let span = hi -. lo in
+  if span <= 0.0 then [ lo ]
+  else begin
+    let raw = span /. 5.0 in
+    let mag = 10.0 ** Float.round (log10 raw) in
+    let step =
+      if raw /. mag >= 2.0 then 2.0 *. mag
+      else if raw /. mag >= 1.0 then mag
+      else mag /. 2.0
+    in
+    let first = Float.of_int (int_of_float (ceil (lo /. step))) *. step in
+    let rec go v acc = if v > hi then List.rev acc else go (v +. step) (v :: acc) in
+    go first []
+  end
+
+let format_tick t_axis v =
+  match t_axis with
+  | Linear ->
+      if abs_float v >= 1e5 || (abs_float v < 1e-2 && v <> 0.0) then
+        Printf.sprintf "%.1e" v
+      else Printf.sprintf "%.3g" v
+  | Log10 -> Printf.sprintf "1e%.0f" v
+
+let to_svg t =
+  let margin_left = 64.0 and margin_right = 16.0 in
+  let margin_top = 36.0 and margin_bottom = 48.0 in
+  let w = float_of_int t.width and h = float_of_int t.height in
+  let plot_w = w -. margin_left -. margin_right in
+  let plot_h = h -. margin_top -. margin_bottom in
+  let xmin, xmax, ymin, ymax = data_range t in
+  let sx x =
+    let x = match t.x_axis with Linear -> x | Log10 -> log10 x in
+    margin_left +. ((x -. xmin) /. (xmax -. xmin) *. plot_w)
+  in
+  let sy y = margin_top +. ((ymax -. y) /. (ymax -. ymin) *. plot_h) in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\" font-family=\"sans-serif\">\n\
+        <rect width=\"100%%\" height=\"100%%\" fill=\"white\"/>\n"
+       t.width t.height t.width t.height);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%.0f\" y=\"20\" font-size=\"14\" font-weight=\"bold\">%s</text>\n"
+       margin_left t.title);
+  (* Frame. *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" fill=\"none\" \
+        stroke=\"#888\"/>\n"
+       margin_left margin_top plot_w plot_h);
+  (* Ticks and grid. *)
+  List.iter
+    (fun v ->
+      let x =
+        margin_left +. ((v -. xmin) /. (xmax -. xmin) *. plot_w)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+            stroke=\"#eee\"/>\n"
+           x margin_top x (margin_top +. plot_h));
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" text-anchor=\"middle\">%s</text>\n"
+           x
+           (margin_top +. plot_h +. 14.0)
+           (format_tick t.x_axis v)))
+    (ticks xmin xmax);
+  List.iter
+    (fun v ->
+      let y = sy v in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+            stroke=\"#eee\"/>\n"
+           margin_left y (margin_left +. plot_w) y);
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\" text-anchor=\"end\">%s</text>\n"
+           (margin_left -. 6.0) (y +. 3.0)
+           (format_tick Linear v)))
+    (ticks ymin ymax);
+  (* Axis labels. *)
+  if t.x_label <> "" then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"%.1f\" y=\"%.1f\" font-size=\"11\" text-anchor=\"middle\">%s</text>\n"
+         (margin_left +. (plot_w /. 2.0))
+         (h -. 10.0) t.x_label);
+  if t.y_label <> "" then
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<text x=\"14\" y=\"%.1f\" font-size=\"11\" text-anchor=\"middle\" \
+          transform=\"rotate(-90 14 %.1f)\">%s</text>\n"
+         (margin_top +. (plot_h /. 2.0))
+         (margin_top +. (plot_h /. 2.0))
+         t.y_label);
+  (* Series. *)
+  List.iteri
+    (fun i s ->
+      if Array.length s.points > 0 then begin
+        let color = palette.(i mod Array.length palette) in
+        Buffer.add_string buf "<polyline fill=\"none\" stroke=\"";
+        Buffer.add_string buf color;
+        Buffer.add_string buf "\" stroke-width=\"1.8\" points=\"";
+        Array.iter
+          (fun (x, y) ->
+            Buffer.add_string buf (Printf.sprintf "%.1f,%.1f " (sx x) (sy y)))
+          s.points;
+        Buffer.add_string buf "\"/>\n";
+        (* Legend entry. *)
+        let ly = margin_top +. 14.0 +. (float_of_int i *. 16.0) in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+              stroke=\"%s\" stroke-width=\"2\"/>\n"
+             (margin_left +. plot_w -. 120.0)
+             ly
+             (margin_left +. plot_w -. 100.0)
+             ly color);
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%.1f\" y=\"%.1f\" font-size=\"10\">%s</text>\n"
+             (margin_left +. plot_w -. 94.0)
+             (ly +. 3.0) s.label)
+      end)
+    t.series;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_svg path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_svg t))

@@ -1,0 +1,31 @@
+(** Minimal SVG line plots.
+
+    Enough charting to render transient waveforms and AC sweeps as
+    standalone SVG files for the repository's figures — multi-series
+    line plots with linear or log₁₀ x axes, automatic ranges, ticks
+    and a legend. *)
+
+type series = {
+  label : string;
+  points : (float * float) array;  (** (x, y), in data coordinates *)
+}
+
+type axis = Linear | Log10
+
+type t
+
+val create :
+  ?width:int ->
+  ?height:int ->
+  ?x_axis:axis ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  t
+(** @raise Invalid_argument when no series has points, or a log axis
+    sees a non-positive coordinate. *)
+
+val to_svg : t -> string
+
+val write_svg : string -> t -> unit

@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generation based on SplitMix64.
+
+    All experiments in this repository are driven by explicit generator
+    states so that every table and figure is reproducible from a seed.
+    SplitMix64 passes BigCrush, has a 64-bit state, and supports cheap
+    stream splitting, which we use to give every trial an independent
+    generator derived from the experiment seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. Two
+    generators created from the same seed produce identical streams. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose stream is
+    statistically independent of the remainder of [g]'s stream. *)
+
+val bits64 : t -> int64
+(** [bits64 g] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)]. Requires [n > 0]; uses rejection
+    sampling so the result is exactly uniform.
+
+    @raise Invalid_argument if [n <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] inclusive.
+
+    @raise Invalid_argument if [lo > hi]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)] with 53 bits of precision. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in g lo hi] is uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+(** [bool g] is a fair coin flip. *)
+
+val shuffle : t -> 'a array -> unit
+(** [shuffle g a] permutes [a] in place uniformly (Fisher–Yates). *)
+
+val choose : t -> 'a array -> 'a
+(** [choose g a] is a uniformly random element of [a].
+
+    @raise Invalid_argument if [a] is empty. *)

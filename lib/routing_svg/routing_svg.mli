@@ -1,0 +1,23 @@
+(** SVG rendering of routing topologies, used to regenerate the paper's
+    Figures 1, 2, 3 and 5 as image files. *)
+
+val render :
+  ?width_px:int ->
+  ?title:string ->
+  ?highlight:(int * int) list ->
+  Routing.t ->
+  string
+(** [render r] is an SVG document showing the routing: edges as
+    L-shaped (Manhattan) wires, the source as a filled circle, sinks as
+    open circles, Steiner points as small squares (the paper's Figure 5
+    convention), with edges in [highlight] (the added non-tree wires)
+    drawn thicker and dashed. *)
+
+val render_to_file :
+  ?width_px:int ->
+  ?title:string ->
+  ?highlight:(int * int) list ->
+  string ->
+  Routing.t ->
+  unit
+(** Writes {!render} output to a path. *)

@@ -1,0 +1,112 @@
+type point = { freq_hz : float; response : Complex.t }
+type sweep = point list
+
+let log_frequencies ~f_start ~f_stop ~points_per_decade =
+  if f_start <= 0.0 || f_stop <= f_start then
+    invalid_arg "Ac.log_frequencies: need 0 < f_start < f_stop";
+  if points_per_decade <= 0 then
+    invalid_arg "Ac.log_frequencies: points_per_decade must be positive";
+  let step = 10.0 ** (1.0 /. float_of_int points_per_decade) in
+  let rec go f acc =
+    if f > f_stop *. (1.0 +. 1e-12) then List.rev acc
+    else go (f *. step) (f :: acc)
+  in
+  go f_start []
+
+(* Rebuild the netlist with the chosen source as a DC 1 V marker and
+   all other independent sources zeroed, then reuse the MNA stamps:
+   the b-vector of the resulting system at any time is exactly the
+   phasor excitation vector. *)
+let excitation_netlist nl ~source =
+  let found = ref false in
+  let rebuilt = Circuit.Netlist.create () in
+  (* Recreate all nodes under their original names so indices match. *)
+  for id = 1 to Circuit.Netlist.num_nodes nl - 1 do
+    ignore (Circuit.Netlist.node rebuilt (Circuit.Netlist.node_name nl id))
+  done;
+  List.iter
+    (fun e ->
+      match e with
+      | Circuit.Element.Vsource { name; pos; neg; _ } when name = source ->
+          found := true;
+          Circuit.Netlist.add rebuilt
+            (Circuit.Element.Vsource
+               { name; pos; neg; wave = Circuit.Waveform.Dc 1.0 })
+      | Circuit.Element.Vsource { name; pos; neg; _ } ->
+          Circuit.Netlist.add rebuilt
+            (Circuit.Element.Vsource
+               { name; pos; neg; wave = Circuit.Waveform.Dc 0.0 })
+      | Circuit.Element.Isource { name; pos; neg; _ } ->
+          (* An off current source is an open circuit, but its zeroed
+             form stamps nothing either; keep it for node bookkeeping. *)
+          Circuit.Netlist.add rebuilt
+            (Circuit.Element.Isource
+               { name; pos; neg; wave = Circuit.Waveform.Dc 0.0 })
+      | other -> Circuit.Netlist.add rebuilt other)
+    (Circuit.Netlist.elements nl);
+  if not !found then
+    invalid_arg ("Ac.analyze: no voltage source named " ^ source);
+  rebuilt
+
+let analyze nl ~source ~probe ~frequencies =
+  let excited = excitation_netlist nl ~source in
+  let sys = Mna.build excited in
+  let probe_node =
+    match Circuit.Netlist.find_node excited probe with
+    | Some node -> node
+    | None -> invalid_arg ("Ac.analyze: unknown probe node " ^ probe)
+  in
+  let unknown = sys.Mna.unknown_of_node.(probe_node) in
+  if unknown < 0 then invalid_arg "Ac.analyze: cannot probe ground";
+  let b_real = sys.Mna.rhs 0.0 in
+  let b = Array.map (fun re -> { Complex.re; im = 0.0 }) b_real in
+  List.map
+    (fun freq_hz ->
+      let omega = 2.0 *. Float.pi *. freq_hz in
+      let a =
+        Numeric.Zmatrix.of_real_pair ~re:sys.Mna.g
+          ~im:(Numeric.Matrix.scale omega sys.Mna.c)
+      in
+      let x = Numeric.Zmatrix.solve a b in
+      { freq_hz; response = x.(unknown) })
+    frequencies
+
+let magnitude_db p = 20.0 *. log10 (Complex.norm p.response)
+
+let phase_deg p = Complex.arg p.response *. 180.0 /. Float.pi
+
+let bandwidth_3db sweep =
+  match sweep with
+  | [] -> None
+  | first :: _ ->
+      let reference = magnitude_db first in
+      let target = reference -. 3.0 in
+      let rec scan prev = function
+        | [] -> None
+        | p :: rest ->
+            let m = magnitude_db p in
+            if m <= target then begin
+              match prev with
+              | None -> Some p.freq_hz
+              | Some (pf, pm) ->
+                  if pm = m then Some p.freq_hz
+                  else begin
+                    (* Log-interpolate the crossing. *)
+                    let t = (pm -. target) /. (pm -. m) in
+                    Some (10.0 ** (log10 pf +. (t *. (log10 p.freq_hz -. log10 pf))))
+                  end
+            end
+            else scan (Some (p.freq_hz, m)) rest
+      in
+      scan None sweep
+
+let to_csv sweep =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "freq_hz,magnitude_db,phase_deg\n";
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.6e,%.6f,%.4f\n" p.freq_hz (magnitude_db p)
+           (phase_deg p)))
+    sweep;
+  Buffer.contents buf

@@ -1,0 +1,46 @@
+(** Small-signal AC (frequency-domain) analysis.
+
+    Solves the phasor MNA system (G + jωC)·x = b at each frequency of
+    a sweep, with one chosen independent voltage source driven at
+    1 V∠0° and every other source turned off — SPICE's [.AC] with an
+    ACMAG of 1 on the source of interest. Everything in these circuits
+    is linear, so this is exact. *)
+
+type point = {
+  freq_hz : float;
+  response : Complex.t;  (** phasor voltage at the probed node *)
+}
+
+type sweep = point list
+
+val log_frequencies :
+  f_start:float -> f_stop:float -> points_per_decade:int -> float list
+(** Logarithmic frequency grid inclusive of [f_start].
+
+    @raise Invalid_argument unless [0 < f_start < f_stop] and
+    [points_per_decade > 0]. *)
+
+val analyze :
+  Circuit.Netlist.t ->
+  source:string ->
+  probe:string ->
+  frequencies:float list ->
+  sweep
+(** [analyze nl ~source ~probe ~frequencies] drives the named voltage
+    source with a unit phasor and records the probed node.
+
+    @raise Invalid_argument when [source] is not a voltage source of
+    the netlist or [probe] is not a node. *)
+
+val magnitude_db : point -> float
+(** 20·log₁₀ |response|. *)
+
+val phase_deg : point -> float
+
+val bandwidth_3db : sweep -> float option
+(** First frequency where the magnitude drops 3 dB below the sweep's
+    first point; [None] when it never does (interpolated
+    logarithmically between grid points). *)
+
+val to_csv : sweep -> string
+(** Columns: freq_hz, magnitude_db, phase_deg. *)

@@ -1,0 +1,130 @@
+type options = {
+  method_ : Transient.method_;
+  steps_per_chunk : int;
+  max_extensions : int;
+}
+
+let default_options =
+  { method_ = Transient.Trapezoidal; steps_per_chunk = 600; max_extensions = 12 }
+
+let fast_options = { default_options with steps_per_chunk = 160 }
+let accurate_options = { default_options with steps_per_chunk = 2500 }
+
+let dc nl =
+  let sys = Mna.build nl in
+  let x = Transient.dc_operating_point sys in
+  let result = ref [] in
+  for node = Circuit.Netlist.num_nodes nl - 1 downto 1 do
+    result := (Circuit.Netlist.node_name nl node, Mna.voltage sys x node) :: !result
+  done;
+  !result
+
+let probe_indices nl (sys : Mna.t) probes =
+  List.map
+    (fun name ->
+      match Circuit.Netlist.find_node nl name with
+      | None -> invalid_arg ("Engine: unknown probe node " ^ name)
+      | Some node ->
+          let u = sys.Mna.unknown_of_node.(node) in
+          if u < 0 then invalid_arg "Engine: cannot probe ground";
+          u)
+    probes
+  |> Array.of_list
+
+let transient ?(options = default_options) nl ~tstop ~probes =
+  if tstop <= 0.0 then invalid_arg "Engine.transient: tstop must be positive";
+  let sys = Mna.build nl in
+  let idx = probe_indices nl sys probes in
+  let x0 = Transient.dc_operating_point sys in
+  let dt = tstop /. float_of_int options.steps_per_chunk in
+  let chunk =
+    Transient.run sys ~method_:options.method_ ~x0 ~t0:0.0 ~dt
+      ~steps:options.steps_per_chunk ~probes:idx
+  in
+  (* Prepend the t=0 operating point so traces start at time zero. *)
+  let times = Array.append [| 0.0 |] chunk.Transient.times in
+  let data =
+    Array.mapi
+      (fun p col -> Array.append [| x0.(idx.(p)) |] col)
+      chunk.Transient.states
+  in
+  { Trace.times; names = Array.of_list probes; data }
+
+let threshold_delays ?(options = default_options) ?(fraction = 0.5) nl ~probes
+    ~horizon =
+  if horizon <= 0.0 then
+    invalid_arg "Engine.threshold_delays: horizon must be positive";
+  let sys = Mna.build nl in
+  let idx = probe_indices nl sys probes in
+  let num_probes = Array.length idx in
+  let x0 = Transient.dc_operating_point sys in
+  (* Final values: DC with sources settled. All supported settling
+     waveforms (Step/Ramp/Pwl/Dc) are constant after their last corner,
+     so evaluating far beyond the horizon is exact. *)
+  let t_settled = 1e6 *. horizon in
+  let xf =
+    Numeric.Lu.solve (Numeric.Lu.factor sys.Mna.g) (sys.Mna.rhs t_settled)
+  in
+  let target =
+    Array.map (fun u -> x0.(u) +. (fraction *. (xf.(u) -. x0.(u)))) idx
+  in
+  let found = Array.make num_probes None in
+  let prev_v = Array.map (fun u -> x0.(u)) idx in
+  let remaining = ref num_probes in
+  (* Mark probes that already start at their target (degenerate). *)
+  Array.iteri
+    (fun p u ->
+      if x0.(u) >= target.(p) then begin
+        found.(p) <- Some 0.0;
+        decr remaining
+      end)
+    idx;
+  let dt = horizon /. float_of_int options.steps_per_chunk in
+  let x = ref x0 in
+  let t0 = ref 0.0 in
+  let extensions = ref 0 in
+  let chunk_steps = ref options.steps_per_chunk in
+  while !remaining > 0 && !extensions <= options.max_extensions do
+    let chunk =
+      Transient.run sys ~method_:options.method_ ~x0:!x ~t0:!t0 ~dt
+        ~steps:!chunk_steps ~probes:idx
+    in
+    for p = 0 to num_probes - 1 do
+      if found.(p) = None then begin
+        let col = chunk.Transient.states.(p) in
+        let rec scan s prev prev_t =
+          if s >= Array.length col then prev_v.(p) <- prev
+          else if col.(s) >= target.(p) then begin
+            let v0 = prev and v1 = col.(s) in
+            let t1 = chunk.Transient.times.(s) in
+            let t_cross =
+              if v1 = v0 then t1
+              else prev_t +. ((target.(p) -. v0) /. (v1 -. v0) *. (t1 -. prev_t))
+            in
+            found.(p) <- Some t_cross;
+            decr remaining
+          end
+          else scan (s + 1) col.(s) chunk.Transient.times.(s)
+        in
+        scan 0 prev_v.(p) !t0
+      end
+    done;
+    x := chunk.Transient.final;
+    t0 := !t0 +. (float_of_int !chunk_steps *. dt);
+    incr extensions;
+    (* Double the window each retry so n extensions cover 2^n horizons. *)
+    chunk_steps := !chunk_steps * 2
+  done;
+  List.mapi (fun p name -> (name, found.(p))) probes
+
+let max_delay ?options ?fraction nl ~probes ~horizon =
+  let delays = threshold_delays ?options ?fraction nl ~probes ~horizon in
+  List.fold_left
+    (fun acc (name, d) ->
+      match d with
+      | Some t -> Float.max acc t
+      | None ->
+          failwith
+            (Printf.sprintf
+               "Engine.max_delay: probe %s never reached threshold" name))
+    0.0 delays

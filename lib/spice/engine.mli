@@ -1,0 +1,68 @@
+(** High-level simulation driver.
+
+    This is the "SPICE" the rest of the repository calls: given a
+    netlist it computes operating points, transient traces, and the 50 %
+    threshold delays that define the paper's delay metric t(n_i). *)
+
+type options = {
+  method_ : Transient.method_;  (** integration method (default trapezoidal) *)
+  steps_per_chunk : int;
+      (** timesteps per simulation chunk; also sets the step size of a
+          fixed-horizon transient *)
+  max_extensions : int;
+      (** how many times a threshold search may double its horizon
+          before giving up *)
+}
+
+val default_options : options
+(** Trapezoidal, 600 steps per chunk, 12 extensions. *)
+
+val fast_options : options
+(** Coarser (160 steps) — used inside greedy routing loops where
+    thousands of simulations are run per net. *)
+
+val accurate_options : options
+(** Finer (2500 steps) — for final reported numbers. *)
+
+val dc : Circuit.Netlist.t -> (string * float) list
+(** DC operating point at t = 0: node name → voltage, excluding
+    ground. *)
+
+val transient :
+  ?options:options ->
+  Circuit.Netlist.t ->
+  tstop:float ->
+  probes:string list ->
+  Trace.t
+(** Fixed-horizon transient from the t=0 operating point, recording the
+    named nodes.
+
+    @raise Invalid_argument for an unknown probe name or a
+    non-positive [tstop]. *)
+
+val threshold_delays :
+  ?options:options ->
+  ?fraction:float ->
+  Circuit.Netlist.t ->
+  probes:string list ->
+  horizon:float ->
+  (string * float option) list
+(** [threshold_delays nl ~probes ~horizon] runs the transient from the
+    t=0 operating point, extending (doubling) the simulated window
+    until every probe has crossed [fraction] (default 0.5) of its final
+    DC value or [max_extensions] is exhausted; unreached probes report
+    [None]. [horizon] is the initial window estimate — a few times the
+    slowest expected time constant. *)
+
+val max_delay :
+  ?options:options ->
+  ?fraction:float ->
+  Circuit.Netlist.t ->
+  probes:string list ->
+  horizon:float ->
+  float
+(** Maximum threshold delay across [probes] — the paper's objective
+    t(G) = max_i t(n_i).
+
+    @raise Failure when some probe never settles (the simulation
+    window was exhausted), which indicates a malformed circuit. *)

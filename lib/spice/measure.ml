@@ -1,0 +1,38 @@
+let first_crossing ~times ~values ~level =
+  let n = Array.length values in
+  if n = 0 || Array.length times <> n then
+    invalid_arg "Measure.first_crossing: bad arrays";
+  let rec scan i =
+    if i >= n then None
+    else if values.(i) >= level then
+      if i = 0 || values.(i) = level then Some times.(i)
+      else begin
+        (* Interpolate within [i-1, i]. *)
+        let v0 = values.(i - 1) and v1 = values.(i) in
+        let t0 = times.(i - 1) and t1 = times.(i) in
+        if v1 = v0 then Some t1
+        else Some (t0 +. ((level -. v0) /. (v1 -. v0) *. (t1 -. t0)))
+      end
+    else scan (i + 1)
+  in
+  scan 0
+
+let final_value ~values =
+  let n = Array.length values in
+  if n = 0 then invalid_arg "Measure.final_value: empty waveform";
+  values.(n - 1)
+
+let threshold_delay ~times ~values ~fraction ~vfinal =
+  first_crossing ~times ~values ~level:(fraction *. vfinal)
+
+let rise_time ~times ~values ~vfinal =
+  match
+    ( first_crossing ~times ~values ~level:(0.1 *. vfinal),
+      first_crossing ~times ~values ~level:(0.9 *. vfinal) )
+  with
+  | Some t10, Some t90 -> Some (t90 -. t10)
+  | _ -> None
+
+let overshoot ~values ~vfinal =
+  let peak = Array.fold_left Float.max neg_infinity values in
+  Float.max 0.0 (peak -. vfinal)

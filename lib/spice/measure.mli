@@ -1,0 +1,28 @@
+(** Waveform measurements.
+
+    The paper's figure of merit is the 50 % threshold delay: the time
+    at which a sink's voltage first reaches half its final value after
+    the driver switches. These helpers operate on sampled waveforms
+    with linear interpolation between samples. *)
+
+val first_crossing :
+  times:float array -> values:float array -> level:float -> float option
+(** First time the waveform reaches [level] from below, linearly
+    interpolated; [None] when it never does. A sample exactly at
+    [level] counts. *)
+
+val final_value : values:float array -> float
+(** Last sample. @raise Invalid_argument on an empty waveform. *)
+
+val threshold_delay :
+  times:float array -> values:float array -> fraction:float ->
+  vfinal:float -> float option
+(** Delay to [fraction]·[vfinal] (e.g. fraction 0.5 for the paper's
+    measure), assuming a rise from 0. *)
+
+val rise_time :
+  times:float array -> values:float array -> vfinal:float -> float option
+(** 10 %–90 % rise time, when both crossings exist. *)
+
+val overshoot : values:float array -> vfinal:float -> float
+(** max(0, peak − vfinal): nonzero only in underdamped RLC responses. *)

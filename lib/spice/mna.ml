@@ -1,0 +1,92 @@
+open Circuit
+
+type t = {
+  size : int;
+  num_node_unknowns : int;
+  g : Numeric.Matrix.t;
+  c : Numeric.Matrix.t;
+  rhs : float -> float array;
+  unknown_of_node : int array;
+}
+
+let build nl =
+  let num_nodes = Netlist.num_nodes nl in
+  let elements = Netlist.elements nl in
+  let branches =
+    List.filter
+      (function Element.Vsource _ | Element.Inductor _ -> true | _ -> false)
+      elements
+  in
+  let num_node_unknowns = num_nodes - 1 in
+  let size = num_node_unknowns + List.length branches in
+  if size = 0 then invalid_arg "Mna.build: circuit has no unknowns";
+  let unknown_of_node = Array.init num_nodes (fun i -> i - 1) in
+  let g = Numeric.Matrix.create size size in
+  let c = Numeric.Matrix.create size size in
+  let idx node = unknown_of_node.(node) in
+  let stamp_conductance m pos neg value =
+    let p = idx pos and n = idx neg in
+    if p >= 0 then Numeric.Matrix.add_to m p p value;
+    if n >= 0 then Numeric.Matrix.add_to m n n value;
+    if p >= 0 && n >= 0 then begin
+      Numeric.Matrix.add_to m p n (-.value);
+      Numeric.Matrix.add_to m n p (-.value)
+    end
+  in
+  (* b(t) contributions: (row, sign, waveform). *)
+  let source_terms = ref [] in
+  let next_branch = ref num_node_unknowns in
+  List.iter
+    (fun e ->
+      match e with
+      | Element.Resistor { pos; neg; ohms; _ } ->
+          stamp_conductance g pos neg (1.0 /. ohms)
+      | Element.Capacitor { pos; neg; farads; _ } ->
+          stamp_conductance c pos neg farads
+      | Element.Vsource { pos; neg; wave; _ } ->
+          let row = !next_branch in
+          incr next_branch;
+          let p = idx pos and n = idx neg in
+          if p >= 0 then begin
+            Numeric.Matrix.add_to g p row 1.0;
+            Numeric.Matrix.add_to g row p 1.0
+          end;
+          if n >= 0 then begin
+            Numeric.Matrix.add_to g n row (-1.0);
+            Numeric.Matrix.add_to g row n (-1.0)
+          end;
+          source_terms := (row, 1.0, wave) :: !source_terms
+      | Element.Inductor { pos; neg; henries; _ } ->
+          let row = !next_branch in
+          incr next_branch;
+          let p = idx pos and n = idx neg in
+          if p >= 0 then begin
+            Numeric.Matrix.add_to g p row 1.0;
+            Numeric.Matrix.add_to g row p 1.0
+          end;
+          if n >= 0 then begin
+            Numeric.Matrix.add_to g n row (-1.0);
+            Numeric.Matrix.add_to g row n (-1.0)
+          end;
+          Numeric.Matrix.add_to c row row (-.henries)
+      | Element.Isource { pos; neg; wave; _ } ->
+          (* Positive source current flows from pos through the source
+             to neg, i.e. it is extracted from pos and injected at neg. *)
+          let p = idx pos and n = idx neg in
+          if p >= 0 then source_terms := (p, -1.0, wave) :: !source_terms;
+          if n >= 0 then source_terms := (n, 1.0, wave) :: !source_terms)
+    elements;
+  let source_terms = !source_terms in
+  let rhs t =
+    let b = Array.make size 0.0 in
+    List.iter
+      (fun (row, sign, wave) ->
+        b.(row) <- b.(row) +. (sign *. Waveform.value wave t))
+      source_terms;
+    b
+  in
+  { size; num_node_unknowns; g; c; rhs; unknown_of_node }
+
+let voltage sys x node =
+  let u = sys.unknown_of_node.(node) in
+  if u < 0 then 0.0 else x.(u)

@@ -1,0 +1,27 @@
+(** Modified nodal analysis (MNA) assembly.
+
+    A linear circuit with node voltages v and branch currents i (one
+    branch unknown per voltage source and per inductor) satisfies
+
+    G·x + C·dx/dt = b(t)
+
+    where x = (v, i). This module builds G, C and b from a netlist.
+    Ground (node 0) is eliminated; unknown indices therefore run over
+    non-ground nodes first, then branches. *)
+
+type t = {
+  size : int;  (** total number of unknowns *)
+  num_node_unknowns : int;  (** non-ground node count *)
+  g : Numeric.Matrix.t;  (** static (conductance/incidence) part *)
+  c : Numeric.Matrix.t;  (** reactive (capacitance/inductance) part *)
+  rhs : float -> float array;  (** b(t) *)
+  unknown_of_node : int array;
+      (** netlist node id → unknown index; ground maps to -1 *)
+}
+
+val build : Circuit.Netlist.t -> t
+(** @raise Invalid_argument on an empty circuit (no unknowns). *)
+
+val voltage : t -> float array -> int -> float
+(** [voltage sys x node] extracts a node voltage from a solution
+    vector; ground reads 0. *)

@@ -1,0 +1,59 @@
+let direct_radius net =
+  let src = Geom.Net.source net in
+  Array.fold_left
+    (fun acc p -> Float.max acc (Geom.Point.manhattan src p))
+    0.0 (Geom.Net.pins net)
+
+let radius_bound ~epsilon net = (1.0 +. epsilon) *. direct_radius net
+
+let construct ~epsilon net =
+  if epsilon < 0.0 then invalid_arg "Brbc.construct: epsilon < 0";
+  let points = Geom.Net.pins net in
+  let n = Array.length points in
+  let dist i j = Geom.Point.manhattan points.(i) points.(j) in
+  let mst = Routing.graph (Routing.mst_of_net net) in
+  (* Depth-first tour of the MST from the source. *)
+  let adj = Array.make n [] in
+  List.iter
+    (fun (e : Graphs.Wgraph.edge) ->
+      adj.(e.u) <- e.v :: adj.(e.u);
+      adj.(e.v) <- e.u :: adj.(e.v))
+    (Graphs.Wgraph.edges mst);
+  let tour = ref [] in
+  let seen = Array.make n false in
+  let rec dfs u =
+    seen.(u) <- true;
+    tour := u :: !tour;
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          dfs v;
+          tour := u :: !tour (* returning through u *)
+        end)
+      adj.(u)
+  in
+  dfs 0;
+  let tour = List.rev !tour in
+  (* Add source shortcuts where the running tour length exceeds
+     epsilon times the pin's direct source distance. *)
+  let augmented = ref mst in
+  let running = ref 0.0 in
+  let rec walk = function
+    | a :: (b :: _ as rest) ->
+        running := !running +. dist a b;
+        if b <> 0 && !running > epsilon *. dist 0 b then begin
+          running := 0.0;
+          if not (Graphs.Wgraph.mem_edge !augmented 0 b) then
+            augmented := Graphs.Wgraph.add_edge !augmented 0 b (dist 0 b)
+        end;
+        walk rest
+    | _ -> ()
+  in
+  walk tour;
+  (* The BRBC tree is the shortest-path tree of the augmented graph. *)
+  let _, pred = Graphs.Paths.dijkstra !augmented 0 in
+  let edges = ref [] in
+  for v = 1 to n - 1 do
+    edges := (pred.(v), v) :: !edges
+  done;
+  Routing.with_points ~source:0 ~num_terminals:n points !edges

@@ -1,0 +1,17 @@
+(** Bounded-Radius, Bounded-Cost trees (Cong, Kahng, Robins,
+    Sarrafzadeh & Wong, "Provably Good Performance-Driven Global
+    Routing" [8]).
+
+    Given ε ≥ 0, walk a depth-first tour of the MST accumulating tour
+    length; whenever the accumulated length since the last shortcut
+    exceeds ε times the source distance of the current pin, add a
+    direct source shortcut. The shortest-path tree of MST ∪ shortcuts
+    has radius ≤ (1+ε)·R and cost ≤ (1 + 2/ε)·cost(MST):
+    ε → 0 approaches the shortest-path star, ε → ∞ keeps the MST. *)
+
+val construct : epsilon:float -> Geom.Net.t -> Routing.t
+(** @raise Invalid_argument when [epsilon < 0]. *)
+
+val radius_bound : epsilon:float -> Geom.Net.t -> float
+(** The guarantee (1+ε)·R where R is the maximum source→pin Manhattan
+    distance — tests check {!construct} never exceeds it. *)

@@ -1,0 +1,38 @@
+let construct ~c net =
+  if c < 0.0 || c > 1.0 then invalid_arg "Pd.construct: need 0 <= c <= 1";
+  let points = Geom.Net.pins net in
+  let n = Array.length points in
+  let dist i j = Geom.Point.manhattan points.(i) points.(j) in
+  let in_tree = Array.make n false in
+  let pathlen = Array.make n 0.0 in
+  (* Best known attachment for each outside vertex. *)
+  let best_key = Array.make n infinity in
+  let best_parent = Array.make n (-1) in
+  in_tree.(0) <- true;
+  for v = 1 to n - 1 do
+    best_key.(v) <- dist 0 v;
+    best_parent.(v) <- 0
+  done;
+  let edges = ref [] in
+  for _ = 1 to n - 1 do
+    let v = ref (-1) in
+    for u = 1 to n - 1 do
+      if (not in_tree.(u)) && (!v = -1 || best_key.(u) < best_key.(!v)) then
+        v := u
+    done;
+    let v = !v in
+    let parent = best_parent.(v) in
+    in_tree.(v) <- true;
+    pathlen.(v) <- pathlen.(parent) +. dist parent v;
+    edges := (parent, v) :: !edges;
+    for u = 1 to n - 1 do
+      if not in_tree.(u) then begin
+        let key = (c *. pathlen.(v)) +. dist v u in
+        if key < best_key.(u) then begin
+          best_key.(u) <- key;
+          best_parent.(u) <- v
+        end
+      end
+    done
+  done;
+  Routing.with_points ~source:0 ~num_terminals:n points !edges

@@ -1,0 +1,14 @@
+(** Prim–Dijkstra tradeoff trees (Alpert, Hu, Huang & Kahng [1]).
+
+    Grow a tree from the source, always attaching the non-tree pin v to
+    the tree pin u that minimises
+
+    c · pathlength(source→u)  +  distance(u, v)
+
+    With c = 0 this is Prim's MST; with c = 1 it is Dijkstra's
+    shortest-path tree; intermediate c trades wirelength for radius.
+    One of the strongest pre-Elmore baselines, cited in the paper's
+    introduction as a cost–radius tradeoff construction. *)
+
+val construct : c:float -> Geom.Net.t -> Routing.t
+(** @raise Invalid_argument unless [0 <= c <= 1]. *)

@@ -1,0 +1,205 @@
+(* Tests for the table/figure harness and the net file format. *)
+
+open Geom
+
+(* A cheap config: first-moment evaluation, tiny trial counts. *)
+let cheap_config =
+  { Nontree.Experiment.default with
+    trials = 4;
+    sizes = [ 5; 8 ];
+    eval_model = Delay.Model.First_moment;
+    search_model = Delay.Model.First_moment }
+
+let row d c pct =
+  { Nontree.Stats.n = 4;
+    all_delay = d;
+    all_cost = c;
+    pct_winners = pct;
+    win_delay = Some d;
+    win_cost = Some c }
+
+(* Table rendering ------------------------------------------------------ *)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub hay i m = needle || scan (i + 1)) in
+  scan 0
+
+let test_render_groups_blocks () =
+  let rows =
+    [ { Harness.Table.label = "Iteration One"; size = 5; row = Some (row 0.9 1.2 50.0) };
+      { Harness.Table.label = "Iteration One"; size = 10; row = Some (row 0.8 1.3 90.0) };
+      { Harness.Table.label = "Iteration Two"; size = 5; row = None };
+      { Harness.Table.label = "Iteration Two"; size = 10; row = Some (row 0.95 1.1 10.0) } ]
+  in
+  let text = Harness.Table.render ~title:"T" ~baseline:"MST" rows in
+  Alcotest.(check bool) "has title" true (contains text "T\n");
+  Alcotest.(check bool) "has NA row" true (contains text "NA");
+  (* Iteration One must appear before Iteration Two. *)
+  let idx s =
+    let rec find i =
+      if i + String.length s > String.length text then max_int
+      else if String.sub text i (String.length s) = s then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  Alcotest.(check bool) "block order" true
+    (idx "Iteration One" < idx "Iteration Two")
+
+let test_render_simple_and_markdown () =
+  let simple =
+    Harness.Table.render_simple ~title:"S" ~baseline:"MST"
+      [ (5, row 0.9 1.1 60.0); (10, row 0.8 1.2 80.0) ]
+  in
+  Alcotest.(check bool) "simple has data" true (contains simple "0.90");
+  let md =
+    Harness.Table.markdown ~title:"M" ~baseline:"MST"
+      [ { Harness.Table.label = "x"; size = 5; row = Some (row 0.9 1.1 60.0) };
+        { Harness.Table.label = "y"; size = 5; row = None } ]
+  in
+  Alcotest.(check bool) "md header" true (contains md "| Stage | Size |");
+  Alcotest.(check bool) "md NA" true (contains md "| y | 5 | NA");
+  Alcotest.(check bool) "md value" true (contains md "0.90")
+
+(* Harness runs with the cheap oracle ----------------------------------- *)
+
+let find_rows label rows =
+  List.filter (fun r -> r.Harness.Table.label = label) rows
+
+let test_table2_cheap () =
+  let rows = Harness.Runs.table2 cheap_config in
+  (* 2 iterations x 2 sizes. *)
+  Alcotest.(check int) "row count" 4 (List.length rows);
+  let iter1 = find_rows "Iteration One" rows in
+  Alcotest.(check int) "iter1 rows" 2 (List.length iter1);
+  List.iter
+    (fun r ->
+      match r.Harness.Table.row with
+      | Some s ->
+          Alcotest.(check bool) "iter1 delay <= 1" true
+            (s.Nontree.Stats.all_delay <= 1.0 +. 1e-9);
+          Alcotest.(check bool) "iter1 cost >= 1" true
+            (s.Nontree.Stats.all_cost >= 1.0 -. 1e-9)
+      | None -> ())
+    iter1
+
+let test_table5_cheap () =
+  let h2, h3 = Harness.Runs.table5 cheap_config in
+  Alcotest.(check int) "h2 sizes" 2 (List.length h2);
+  Alcotest.(check int) "h3 sizes" 2 (List.length h3);
+  List.iter
+    (fun r ->
+      match r.Harness.Table.row with
+      | Some s ->
+          (* H2/H3 add an edge unconditionally: cost strictly grows on
+             nets where an edge was added. *)
+          Alcotest.(check bool) "cost >= 1" true
+            (s.Nontree.Stats.all_cost >= 1.0 -. 1e-9)
+      | None -> Alcotest.fail "h2/h3 row missing")
+    (h2 @ h3)
+
+let test_table6_cheap () =
+  let rows = Harness.Runs.table6 cheap_config in
+  List.iter
+    (fun r ->
+      match r.Harness.Table.row with
+      | Some s ->
+          Alcotest.(check bool) "ERT improves delay on average" true
+            (s.Nontree.Stats.all_delay < 1.05)
+      | None -> Alcotest.fail "missing row")
+    rows
+
+let test_figure_machinery () =
+  let f = Harness.Runs.figure2 cheap_config in
+  Alcotest.(check int) "10 pins" 10 f.Harness.Runs.net_size;
+  Alcotest.(check bool) "delay improved" true
+    (f.Harness.Runs.final_delay < f.Harness.Runs.base_delay);
+  Alcotest.(check bool) "cost grew" true
+    (f.Harness.Runs.final_cost > f.Harness.Runs.base_cost);
+  Alcotest.(check int) "stages = added edges" (List.length f.Harness.Runs.added)
+    (List.length f.Harness.Runs.stages);
+  let text = Harness.Runs.render_figure f in
+  Alcotest.(check bool) "describes improvement" true
+    (contains text "improvement");
+  (* SVG output works. *)
+  let dir = Filename.temp_file "figs" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let paths = Harness.Runs.save_figure_svgs ~dir f in
+  Alcotest.(check int) "two svgs" 2 (List.length paths);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "file exists" true (Sys.file_exists p);
+      Sys.remove p)
+    paths;
+  Unix.rmdir dir
+
+let test_extensions_render () =
+  let tiny = { cheap_config with trials = 2 } in
+  List.iter
+    (fun (name, f) ->
+      let text = f tiny in
+      Alcotest.(check bool) (name ^ " non-empty") true (String.length text > 50))
+    [ ("csorg", Harness.Runs.ext_csorg); ("wsorg", Harness.Runs.ext_wsorg);
+      ("rlc", Harness.Runs.ext_rlc); ("trees", Harness.Runs.ext_trees);
+      ("budget", Harness.Runs.ext_budget); ("prune", Harness.Runs.ext_prune) ]
+
+(* Net files ------------------------------------------------------------- *)
+
+let test_netfile_roundtrip () =
+  let net =
+    Net.of_list
+      [ Point.make 0.5 1.25; Point.make 100.0 0.0; Point.make 3.75 9999.5 ]
+  in
+  match Netfile.of_string (Netfile.to_string net) with
+  | Error e -> Alcotest.fail e
+  | Ok net' ->
+      Alcotest.(check bool) "pins identical" true (Net.pins net = Net.pins net')
+
+let test_netfile_comments_and_blanks () =
+  let text = "# header\n\n  0 0\n# middle\n10 20\n\n" in
+  match Netfile.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok net -> Alcotest.(check int) "two pins" 2 (Net.size net)
+
+let test_netfile_errors () =
+  (match Netfile.of_string "0 0\n" with
+  | Error e -> Alcotest.(check bool) "too few" true (contains e "two pins")
+  | Ok _ -> Alcotest.fail "expected error");
+  match Netfile.of_string "0 0\nnot numbers\n" with
+  | Error e -> Alcotest.(check bool) "names line" true (contains e "line 2")
+  | Ok _ -> Alcotest.fail "expected error"
+
+let prop_netfile_roundtrip =
+  QCheck.Test.make ~name:"netfile roundtrip on random nets" ~count:30
+    QCheck.(pair small_int (int_range 2 20))
+    (fun (seed, pins) ->
+      let g = Rng.create seed in
+      let net = Netgen.uniform g ~region:(Rect.square 10_000.0) ~pins in
+      match Netfile.of_string (Netfile.to_string net) with
+      | Error _ -> false
+      | Ok net' ->
+          (* %.6g printing: coordinates agree to ~1e-4 um relative. *)
+          Array.for_all2
+            (fun (a : Point.t) (b : Point.t) ->
+              abs_float (a.Point.x -. b.Point.x) < 0.5
+              && abs_float (a.Point.y -. b.Point.y) < 0.5)
+            (Net.pins net) (Net.pins net'))
+
+let suites =
+  [ ( "harness",
+      [ Alcotest.test_case "render groups blocks" `Quick
+          test_render_groups_blocks;
+        Alcotest.test_case "render simple + markdown" `Quick
+          test_render_simple_and_markdown;
+        Alcotest.test_case "table2 (cheap oracle)" `Quick test_table2_cheap;
+        Alcotest.test_case "table5 (cheap oracle)" `Quick test_table5_cheap;
+        Alcotest.test_case "table6 (cheap oracle)" `Quick test_table6_cheap;
+        Alcotest.test_case "figure machinery" `Quick test_figure_machinery;
+        Alcotest.test_case "extensions render" `Quick test_extensions_render;
+        Alcotest.test_case "netfile roundtrip" `Quick test_netfile_roundtrip;
+        Alcotest.test_case "netfile comments" `Quick
+          test_netfile_comments_and_blanks;
+        Alcotest.test_case "netfile errors" `Quick test_netfile_errors;
+        QCheck_alcotest.to_alcotest prop_netfile_roundtrip ] ) ]

@@ -1,0 +1,219 @@
+(* Tests for dense linear algebra. *)
+
+open Numeric
+
+let test_vec_ops () =
+  let a = [| 1.0; 2.0; 3.0 |] and b = [| 4.0; 5.0; 6.0 |] in
+  Alcotest.(check (array (float 0.0))) "add" [| 5.0; 7.0; 9.0 |] (Vec.add a b);
+  Alcotest.(check (array (float 0.0))) "sub" [| -3.0; -3.0; -3.0 |] (Vec.sub a b);
+  Alcotest.(check (float 0.0)) "dot" 32.0 (Vec.dot a b);
+  Alcotest.(check (float 1e-12)) "norm2" (sqrt 14.0) (Vec.norm2 a);
+  Alcotest.(check (float 0.0)) "norm_inf" 6.0 (Vec.norm_inf b);
+  Alcotest.(check (float 0.0)) "max_abs_diff" 3.0 (Vec.max_abs_diff a b);
+  let y = Array.copy b in
+  Vec.axpy 2.0 a y;
+  Alcotest.(check (array (float 0.0))) "axpy" [| 6.0; 9.0; 12.0 |] y;
+  Alcotest.(check (float 0.0)) "lerp" 2.5 (Vec.lerp 2.0 3.0 0.5)
+
+let test_matrix_basics () =
+  let m = Matrix.create 2 3 in
+  Matrix.set m 0 0 1.0;
+  Matrix.add_to m 0 0 2.0;
+  Matrix.update m 1 2 (fun x -> x +. 5.0);
+  Alcotest.(check (float 0.0)) "set+add_to" 3.0 (Matrix.get m 0 0);
+  Alcotest.(check (float 0.0)) "update" 5.0 (Matrix.get m 1 2);
+  let t = Matrix.transpose m in
+  Alcotest.(check int) "transpose rows" 3 (Matrix.rows t);
+  Alcotest.(check (float 0.0)) "transpose entry" 5.0 (Matrix.get t 2 1)
+
+let test_matrix_mul () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = Matrix.of_arrays [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let c = Matrix.mul a b in
+  Alcotest.(check (float 0.0)) "c00" 19.0 (Matrix.get c 0 0);
+  Alcotest.(check (float 0.0)) "c01" 22.0 (Matrix.get c 0 1);
+  Alcotest.(check (float 0.0)) "c10" 43.0 (Matrix.get c 1 0);
+  Alcotest.(check (float 0.0)) "c11" 50.0 (Matrix.get c 1 1)
+
+let test_matrix_identity_mul () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let i = Matrix.identity 2 in
+  Alcotest.(check (float 0.0)) "I*A = A" 0.0
+    (Matrix.max_abs (Matrix.sub (Matrix.mul i a) a))
+
+let test_mul_vec () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  Alcotest.(check (array (float 0.0))) "A*v" [| 5.0; 11.0 |]
+    (Matrix.mul_vec a [| 1.0; 2.0 |])
+
+let test_lu_known () =
+  let a = Matrix.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Lu.solve_matrix a [| 3.0; 5.0 |] in
+  Alcotest.(check (float 1e-12)) "x0" 0.8 x.(0);
+  Alcotest.(check (float 1e-12)) "x1" 1.4 x.(1)
+
+let test_lu_pivoting_needed () =
+  (* Zero top-left pivot forces a row swap. *)
+  let a = Matrix.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Lu.solve_matrix a [| 2.0; 3.0 |] in
+  Alcotest.(check (float 1e-12)) "x0" 3.0 x.(0);
+  Alcotest.(check (float 1e-12)) "x1" 2.0 x.(1)
+
+let test_lu_singular () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  match Lu.factor a with
+  | exception Lu.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+let test_lu_det () =
+  let a = Matrix.of_arrays [| [| 3.0; 0.0 |]; [| 0.0; 4.0 |] |] in
+  Alcotest.(check (float 1e-12)) "det diag" 12.0 (Lu.det (Lu.factor a));
+  let b = Matrix.of_arrays [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  Alcotest.(check (float 1e-12)) "det swap" (-1.0) (Lu.det (Lu.factor b))
+
+let test_lu_inverse () =
+  let a = Matrix.of_arrays [| [| 4.0; 7.0 |]; [| 2.0; 6.0 |] |] in
+  let inv = Lu.inverse a in
+  let prod = Matrix.mul a inv in
+  Alcotest.(check (float 1e-10)) "A * A^-1 = I" 0.0
+    (Matrix.max_abs (Matrix.sub prod (Matrix.identity 2)))
+
+(* Random diagonally-dominant systems are well conditioned, so the
+   residual must be tiny. *)
+let random_dd_system seed n =
+  let g = Rng.create seed in
+  let a = Matrix.create n n in
+  for i = 0 to n - 1 do
+    let row_sum = ref 0.0 in
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let v = Rng.float_in g (-1.0) 1.0 in
+        Matrix.set a i j v;
+        row_sum := !row_sum +. abs_float v
+      end
+    done;
+    Matrix.set a i i (!row_sum +. 1.0 +. Rng.float g 2.0)
+  done;
+  let b = Array.init n (fun _ -> Rng.float_in g (-10.0) 10.0) in
+  (a, b)
+
+let prop_lu_residual =
+  QCheck.Test.make ~name:"LU solve residual small" ~count:60
+    QCheck.(pair small_int (int_range 1 40))
+    (fun (seed, n) ->
+      let a, b = random_dd_system seed n in
+      let x = Lu.solve_matrix a b in
+      let r = Vec.sub (Matrix.mul_vec a x) b in
+      Vec.norm_inf r < 1e-8)
+
+let prop_lu_solve_in_place_matches =
+  QCheck.Test.make ~name:"solve_in_place = solve" ~count:40
+    QCheck.(pair small_int (int_range 1 20))
+    (fun (seed, n) ->
+      let a, b = random_dd_system seed n in
+      let f = Lu.factor a in
+      let x1 = Lu.solve f b in
+      let x2 = Array.copy b in
+      Lu.solve_in_place f x2;
+      Vec.max_abs_diff x1 x2 = 0.0)
+
+let prop_inverse_roundtrip =
+  QCheck.Test.make ~name:"inverse roundtrip" ~count:30
+    QCheck.(pair small_int (int_range 1 15))
+    (fun (seed, n) ->
+      let a, _ = random_dd_system seed n in
+      let inv = Lu.inverse a in
+      Matrix.max_abs (Matrix.sub (Matrix.mul a inv) (Matrix.identity n)) < 1e-8)
+
+let test_matrix_map_scale_frobenius () =
+  let a = Matrix.of_arrays [| [| 3.0; 0.0 |]; [| 0.0; 4.0 |] |] in
+  Alcotest.(check (float 1e-12)) "frobenius" 5.0 (Matrix.frobenius a);
+  let doubled = Matrix.scale 2.0 a in
+  Alcotest.(check (float 0.0)) "scale" 8.0 (Matrix.get doubled 1 1);
+  let negated = Matrix.map (fun x -> -.x) a in
+  Alcotest.(check (float 0.0)) "map" (-3.0) (Matrix.get negated 0 0);
+  Alcotest.(check (float 0.0)) "max_abs" 4.0 (Matrix.max_abs a)
+
+let test_matrix_data_is_live () =
+  let a = Matrix.create 2 2 in
+  (Matrix.data a).(3) <- 7.0;
+  Alcotest.(check (float 0.0)) "row-major live view" 7.0 (Matrix.get a 1 1)
+
+let test_vec_small_helpers () =
+  Alcotest.(check (array (float 0.0))) "make" [| 2.0; 2.0 |] (Vec.make 2 2.0);
+  Alcotest.(check (array (float 0.0))) "zeros" [| 0.0 |] (Vec.zeros 1);
+  let a = [| 1.0; 2.0 |] in
+  let b = Vec.copy a in
+  b.(0) <- 9.0;
+  Alcotest.(check (float 0.0)) "copy is fresh" 1.0 a.(0);
+  Alcotest.(check (array (float 0.0))) "scale" [| 2.0; 4.0 |] (Vec.scale 2.0 a)
+
+let test_zmatrix_solve () =
+  (* (1+i) x = 2  ->  x = 1 - i *)
+  let m = Numeric.Zmatrix.create 1 1 in
+  Numeric.Zmatrix.set m 0 0 { Complex.re = 1.0; im = 1.0 };
+  let x = Numeric.Zmatrix.solve m [| { Complex.re = 2.0; im = 0.0 } |] in
+  Alcotest.(check (float 1e-12)) "re" 1.0 x.(0).Complex.re;
+  Alcotest.(check (float 1e-12)) "im" (-1.0) x.(0).Complex.im
+
+let test_zmatrix_mul_and_roundtrip () =
+  let g = Rng.create 55 in
+  let n = 6 in
+  let m = Numeric.Zmatrix.create n n in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let v =
+        { Complex.re = Rng.float_in g (-1.0) 1.0;
+          im = Rng.float_in g (-1.0) 1.0 }
+      in
+      Numeric.Zmatrix.set m i j
+        (if i = j then Complex.add v { Complex.re = 4.0; im = 0.0 } else v)
+    done
+  done;
+  let b =
+    Array.init n (fun _ ->
+        { Complex.re = Rng.float_in g (-1.0) 1.0;
+          im = Rng.float_in g (-1.0) 1.0 })
+  in
+  let x = Numeric.Zmatrix.solve m b in
+  let r = Numeric.Zmatrix.mul_vec m x in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool) "residual small" true
+        (Complex.norm (Complex.sub v b.(i)) < 1e-10))
+    r
+
+let test_zmatrix_singular () =
+  let m = Numeric.Zmatrix.create 2 2 in
+  (* Rank 1. *)
+  Numeric.Zmatrix.set m 0 0 Complex.one;
+  Numeric.Zmatrix.set m 0 1 Complex.one;
+  Numeric.Zmatrix.set m 1 0 Complex.one;
+  Numeric.Zmatrix.set m 1 1 Complex.one;
+  match Numeric.Zmatrix.solve m [| Complex.one; Complex.zero |] with
+  | exception Numeric.Zmatrix.Singular _ -> ()
+  | _ -> Alcotest.fail "expected Singular"
+
+let suites =
+  [ ( "numeric",
+      [ Alcotest.test_case "vec ops" `Quick test_vec_ops;
+        Alcotest.test_case "matrix basics" `Quick test_matrix_basics;
+        Alcotest.test_case "matrix mul" `Quick test_matrix_mul;
+        Alcotest.test_case "identity mul" `Quick test_matrix_identity_mul;
+        Alcotest.test_case "mul_vec" `Quick test_mul_vec;
+        Alcotest.test_case "lu known system" `Quick test_lu_known;
+        Alcotest.test_case "lu pivoting" `Quick test_lu_pivoting_needed;
+        Alcotest.test_case "lu singular" `Quick test_lu_singular;
+        Alcotest.test_case "lu det" `Quick test_lu_det;
+        Alcotest.test_case "lu inverse" `Quick test_lu_inverse;
+        QCheck_alcotest.to_alcotest prop_lu_residual;
+        QCheck_alcotest.to_alcotest prop_lu_solve_in_place_matches;
+        QCheck_alcotest.to_alcotest prop_inverse_roundtrip;
+        Alcotest.test_case "matrix map/scale/frobenius" `Quick
+          test_matrix_map_scale_frobenius;
+        Alcotest.test_case "matrix data view" `Quick test_matrix_data_is_live;
+        Alcotest.test_case "vec helpers" `Quick test_vec_small_helpers;
+        Alcotest.test_case "zmatrix 1x1 complex" `Quick test_zmatrix_solve;
+        Alcotest.test_case "zmatrix residual" `Quick
+          test_zmatrix_mul_and_roundtrip;
+        Alcotest.test_case "zmatrix singular" `Quick test_zmatrix_singular ] ) ]

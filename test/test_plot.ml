@@ -1,0 +1,72 @@
+(* Tests for the SVG line-plot renderer. *)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec scan i = i + m <= n && (String.sub hay i m = needle || scan (i + 1)) in
+  scan 0
+
+let sine_series =
+  { Plot.label = "sine";
+    points = Array.init 50 (fun i ->
+        let x = float_of_int i /. 5.0 in
+        (x, sin x)) }
+
+let test_basic_svg () =
+  let p = Plot.create ~title:"t" [ sine_series ] in
+  let svg = Plot.to_svg p in
+  Alcotest.(check bool) "svg root" true (contains svg "<svg");
+  Alcotest.(check bool) "one polyline" true (contains svg "<polyline");
+  Alcotest.(check bool) "title" true (contains svg ">t</text>");
+  Alcotest.(check bool) "legend label" true (contains svg ">sine</text>")
+
+let test_multi_series_colors () =
+  let s2 = { sine_series with label = "other" } in
+  let svg = Plot.to_svg (Plot.create ~title:"m" [ sine_series; s2 ]) in
+  Alcotest.(check bool) "two colors" true
+    (contains svg "#2563eb" && contains svg "#dc2626")
+
+let test_log_axis () =
+  let s =
+    { Plot.label = "log";
+      points = Array.init 5 (fun i -> (10.0 ** float_of_int i, float_of_int i)) }
+  in
+  let svg = Plot.to_svg (Plot.create ~x_axis:Plot.Log10 ~title:"l" [ s ]) in
+  Alcotest.(check bool) "log tick format" true (contains svg "1e");
+  Alcotest.check_raises "negative x rejected"
+    (Invalid_argument "Plot.create: log axis needs positive x") (fun () ->
+      ignore
+        (Plot.create ~x_axis:Plot.Log10 ~title:"bad"
+           [ { Plot.label = "x"; points = [| (-1.0, 0.0) |] } ]))
+
+let test_empty_rejected () =
+  Alcotest.check_raises "no data" (Invalid_argument "Plot.create: no data")
+    (fun () ->
+      ignore (Plot.create ~title:"e" [ { Plot.label = "e"; points = [||] } ]))
+
+let test_axis_labels () =
+  let svg =
+    Plot.to_svg
+      (Plot.create ~x_label:"time" ~y_label:"volts" ~title:"a" [ sine_series ])
+  in
+  Alcotest.(check bool) "x label" true (contains svg ">time</text>");
+  Alcotest.(check bool) "y label" true (contains svg ">volts</text>")
+
+let test_write_svg () =
+  let path = Filename.temp_file "plot" ".svg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Plot.write_svg path (Plot.create ~title:"f" [ sine_series ]);
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      close_in ic;
+      Alcotest.(check bool) "non-empty file" true (len > 500))
+
+let suites =
+  [ ( "plot",
+      [ Alcotest.test_case "basic svg" `Quick test_basic_svg;
+        Alcotest.test_case "multi series" `Quick test_multi_series_colors;
+        Alcotest.test_case "log axis" `Quick test_log_axis;
+        Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+        Alcotest.test_case "axis labels" `Quick test_axis_labels;
+        Alcotest.test_case "write svg" `Quick test_write_svg ] ) ]

@@ -1,0 +1,115 @@
+(* Tests for the deterministic SplitMix64 generator. *)
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_split_independent () =
+  let g = Rng.create 7 in
+  let g1 = Rng.split g in
+  (* The split stream must not simply replay the parent stream. *)
+  let parent = Array.init 32 (fun _ -> Rng.bits64 g) in
+  let child = Array.init 32 (fun _ -> Rng.bits64 g1) in
+  Alcotest.(check bool) "split differs from parent" true (parent <> child)
+
+let test_copy_replays () =
+  let g = Rng.create 99 in
+  ignore (Rng.bits64 g);
+  let h = Rng.copy g in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 g) (Rng.bits64 h)
+
+let test_int_bounds () =
+  let g = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int g 17 in
+    Alcotest.(check bool) "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_int_rejects_nonpositive () =
+  let g = Rng.create 5 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int g 0))
+
+let test_int_in_inclusive () =
+  let g = Rng.create 5 in
+  let seen_lo = ref false and seen_hi = ref false in
+  for _ = 1 to 2000 do
+    let v = Rng.int_in g 3 5 in
+    Alcotest.(check bool) "in range" true (v >= 3 && v <= 5);
+    if v = 3 then seen_lo := true;
+    if v = 5 then seen_hi := true
+  done;
+  Alcotest.(check bool) "endpoints reachable" true (!seen_lo && !seen_hi)
+
+let test_float_bounds () =
+  let g = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.float g 2.5 in
+    Alcotest.(check bool) "0 <= v < 2.5" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_float_mean () =
+  let g = Rng.create 13 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float g 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (mean -. 0.5) < 0.02)
+
+let test_shuffle_permutation () =
+  let g = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle g a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_bool_balanced () =
+  let g = Rng.create 17 in
+  let trues = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Rng.bool g then incr trues
+  done;
+  let frac = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool) "balanced" true (abs_float (frac -. 0.5) < 0.03)
+
+let prop_int_uniformish =
+  QCheck.Test.make ~name:"rng: int covers all residues" ~count:50
+    QCheck.(pair small_int (int_range 2 10))
+    (fun (seed, n) ->
+      let g = Rng.create seed in
+      let seen = Array.make n false in
+      for _ = 1 to 200 * n do
+        seen.(Rng.int g n) <- true
+      done;
+      Array.for_all Fun.id seen)
+
+let suites =
+  [ ( "rng",
+      [ Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+        Alcotest.test_case "split independent" `Quick test_split_independent;
+        Alcotest.test_case "copy replays" `Quick test_copy_replays;
+        Alcotest.test_case "int bounds" `Quick test_int_bounds;
+        Alcotest.test_case "int rejects bad bound" `Quick
+          test_int_rejects_nonpositive;
+        Alcotest.test_case "int_in inclusive" `Quick test_int_in_inclusive;
+        Alcotest.test_case "float bounds" `Quick test_float_bounds;
+        Alcotest.test_case "float mean" `Quick test_float_mean;
+        Alcotest.test_case "shuffle is permutation" `Quick
+          test_shuffle_permutation;
+        Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+        QCheck_alcotest.to_alcotest prop_int_uniformish ] ) ]

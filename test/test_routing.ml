@@ -1,0 +1,161 @@
+(* Tests for routing topologies over nets. *)
+
+open Geom
+
+let square_net () =
+  (* Unit square: source at origin, sinks at the other corners. *)
+  Net.of_list
+    [ Point.origin; Point.make 100.0 0.0; Point.make 0.0 100.0;
+      Point.make 100.0 100.0 ]
+
+let test_mst_of_net () =
+  let r = Routing.mst_of_net (square_net ()) in
+  Alcotest.(check bool) "tree" true (Routing.is_tree r);
+  Alcotest.(check int) "vertices" 4 (Routing.num_vertices r);
+  Alcotest.(check (float 1e-9)) "cost 300" 300.0 (Routing.cost r)
+
+let test_add_edge_cycle () =
+  let r = Routing.mst_of_net (square_net ()) in
+  (* Any added edge creates a cycle; topology must stay connected. *)
+  match Routing.candidate_edges r with
+  | [] -> Alcotest.fail "expected candidates"
+  | (u, v) :: _ ->
+      let r' = Routing.add_edge r u v in
+      Alcotest.(check bool) "no longer a tree" false (Routing.is_tree r');
+      Alcotest.(check bool) "cost grew" true (Routing.cost r' > Routing.cost r);
+      Alcotest.(check bool) "original untouched" true (Routing.is_tree r)
+
+let test_candidate_count () =
+  let r = Routing.mst_of_net (square_net ()) in
+  (* Complete graph on 4 vertices has 6 edges; tree has 3. *)
+  Alcotest.(check int) "candidates" 3 (List.length (Routing.candidate_edges r))
+
+let test_remove_edge_guard () =
+  let r = Routing.mst_of_net (square_net ()) in
+  let (e : Graphs.Wgraph.edge) = List.hd (Graphs.Wgraph.edges (Routing.graph r)) in
+  Alcotest.check_raises "would disconnect"
+    (Invalid_argument "Routing.remove_edge: would disconnect") (fun () ->
+      ignore (Routing.remove_edge r e.u e.v))
+
+let test_remove_added_edge () =
+  let r = Routing.mst_of_net (square_net ()) in
+  let u, v = List.hd (Routing.candidate_edges r) in
+  let r' = Routing.remove_edge (Routing.add_edge r u v) u v in
+  Alcotest.(check (float 1e-9)) "back to MST cost" (Routing.cost r)
+    (Routing.cost r')
+
+let test_of_net_validates_weights () =
+  let net = square_net () in
+  let bad =
+    Graphs.Wgraph.of_edges 4 [ (0, 1, 42.0); (1, 3, 100.0); (3, 2, 100.0) ]
+  in
+  Alcotest.check_raises "bad weight"
+    (Invalid_argument "Routing: edge weight disagrees with Manhattan distance")
+    (fun () -> ignore (Routing.of_net net bad))
+
+let test_with_points_steiner () =
+  let pts =
+    [| Point.origin; Point.make 100.0 0.0; Point.make 0.0 100.0;
+       Point.make 50.0 50.0 |]
+  in
+  let r =
+    Routing.with_points ~source:0 ~num_terminals:3 pts
+      [ (0, 3); (1, 3); (2, 3) ]
+  in
+  Alcotest.(check int) "terminals" 3 (Routing.num_terminals r);
+  Alcotest.(check int) "vertices" 4 (Routing.num_vertices r);
+  Alcotest.(check (list int)) "sinks" [ 1; 2 ] (Routing.sinks r)
+
+let test_widths_default_and_set () =
+  let r = Routing.mst_of_net (square_net ()) in
+  let (e : Graphs.Wgraph.edge) = List.hd (Graphs.Wgraph.edges (Routing.graph r)) in
+  Alcotest.(check (float 0.0)) "default width" 1.0 (Routing.width r e.u e.v);
+  let r' = Routing.set_width r e.u e.v 2.0 in
+  Alcotest.(check (float 0.0)) "set width" 2.0 (Routing.width r' e.u e.v);
+  Alcotest.(check (float 0.0)) "original width" 1.0 (Routing.width r e.u e.v);
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Routing.set_width: width must be positive") (fun () ->
+      ignore (Routing.set_width r e.u e.v 0.0))
+
+let test_width_absent_edge () =
+  let r = Routing.mst_of_net (square_net ()) in
+  let u, v = List.hd (Routing.candidate_edges r) in
+  Alcotest.check_raises "absent" Not_found (fun () ->
+      ignore (Routing.width r u v))
+
+let test_rooted_view () =
+  let r = Routing.mst_of_net (square_net ()) in
+  let rt = Routing.rooted r in
+  Alcotest.(check int) "rooted at source" 0 rt.Graphs.Rooted.root;
+  let u, v = List.hd (Routing.candidate_edges r) in
+  let r' = Routing.add_edge r u v in
+  Alcotest.check_raises "non-tree rejected"
+    (Invalid_argument "Routing.rooted: not a tree") (fun () ->
+      ignore (Routing.rooted r'))
+
+let prop_mst_routing_sane =
+  QCheck.Test.make ~name:"MST routing: tree, spans, cost positive" ~count:50
+    QCheck.(pair small_int (int_range 2 30))
+    (fun (seed, pins) ->
+      let g = Rng.create seed in
+      let net = Netgen.uniform g ~region:(Rect.square 10_000.0) ~pins in
+      let r = Routing.mst_of_net net in
+      Routing.is_tree r
+      && Routing.num_vertices r = pins
+      && Routing.cost r > 0.0)
+
+let prop_add_edge_cost_increases_by_length =
+  QCheck.Test.make ~name:"add_edge adds exactly its Manhattan length" ~count:50
+    QCheck.(pair small_int (int_range 3 20))
+    (fun (seed, pins) ->
+      let g = Rng.create seed in
+      let net = Netgen.uniform g ~region:(Rect.square 10_000.0) ~pins in
+      let r = Routing.mst_of_net net in
+      match Routing.candidate_edges r with
+      | [] -> true
+      | candidates ->
+          let u, v =
+            List.nth candidates (Rng.int g (List.length candidates))
+          in
+          let r' = Routing.add_edge r u v in
+          let expected =
+            Routing.cost r
+            +. Point.manhattan (Routing.point r u) (Routing.point r v)
+          in
+          abs_float (Routing.cost r' -. expected) < 1e-6)
+
+let test_svg_render () =
+  let r = Routing.mst_of_net (square_net ()) in
+  let svg = Routing_svg.render ~title:"test" ~highlight:[ (0, 1) ] r in
+  Alcotest.(check bool) "has svg tag" true
+    (String.length svg > 0
+    && String.sub svg 0 4 = "<svg"
+    && String.length svg > 100);
+  (* One circle per pin plus polylines for the 3 edges. *)
+  let count_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let c = ref 0 in
+    for i = 0 to n - m do
+      if String.sub s i m = sub then incr c
+    done;
+    !c
+  in
+  Alcotest.(check int) "circles" 4 (count_sub svg "<circle");
+  Alcotest.(check int) "edges" 3 (count_sub svg "<polyline")
+
+let suites =
+  [ ( "routing",
+      [ Alcotest.test_case "mst of net" `Quick test_mst_of_net;
+        Alcotest.test_case "add edge makes cycle" `Quick test_add_edge_cycle;
+        Alcotest.test_case "candidate count" `Quick test_candidate_count;
+        Alcotest.test_case "remove-edge guard" `Quick test_remove_edge_guard;
+        Alcotest.test_case "remove added edge" `Quick test_remove_added_edge;
+        Alcotest.test_case "of_net validates weights" `Quick
+          test_of_net_validates_weights;
+        Alcotest.test_case "with_points steiner" `Quick test_with_points_steiner;
+        Alcotest.test_case "widths" `Quick test_widths_default_and_set;
+        Alcotest.test_case "width absent edge" `Quick test_width_absent_edge;
+        Alcotest.test_case "rooted view" `Quick test_rooted_view;
+        QCheck_alcotest.to_alcotest prop_mst_routing_sane;
+        QCheck_alcotest.to_alcotest prop_add_edge_cost_increases_by_length;
+        Alcotest.test_case "svg render" `Quick test_svg_render ] ) ]

@@ -1,0 +1,378 @@
+(* Tests validating the simulator against closed-form circuit theory. *)
+
+open Circuit
+
+let step01 = Waveform.Step { t0 = 0.0; v0 = 0.0; v1 = 1.0 }
+
+(* A 1 kΩ / 1 pF low-pass: v(t) = 1 - exp(-t/RC), tau = 1 ns. *)
+let rc_circuit () =
+  let nl = Netlist.create () in
+  let inp = Netlist.node nl "in" in
+  let out = Netlist.node nl "out" in
+  Netlist.vsource nl inp Netlist.ground step01;
+  Netlist.resistor nl inp out 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-12;
+  nl
+
+let test_dc_divider () =
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  let b = Netlist.node nl "b" in
+  Netlist.vsource nl a Netlist.ground (Waveform.Dc 10.0);
+  Netlist.resistor nl a b 3e3;
+  Netlist.resistor nl b Netlist.ground 7e3;
+  let v = List.assoc "b" (Spice.Engine.dc nl) in
+  Alcotest.(check (float 1e-9)) "divider" 7.0 v
+
+let test_dc_current_source () =
+  (* 1 mA into 2 kΩ gives 2 V. *)
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  Netlist.isource nl Netlist.ground a (Waveform.Dc 1e-3);
+  Netlist.resistor nl a Netlist.ground 2e3;
+  let v = List.assoc "a" (Spice.Engine.dc nl) in
+  Alcotest.(check (float 1e-9)) "IR" 2.0 v
+
+let test_dc_inductor_short () =
+  (* At DC an inductor is a short: the divider sees only R2. *)
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  let b = Netlist.node nl "b" in
+  Netlist.vsource nl a Netlist.ground (Waveform.Dc 4.0);
+  Netlist.inductor nl a b 1e-9;
+  Netlist.resistor nl b Netlist.ground 1e3;
+  let v = List.assoc "b" (Spice.Engine.dc nl) in
+  Alcotest.(check (float 1e-9)) "inductor shorts" 4.0 v
+
+let check_against_analytic trace analytic tolerance label =
+  let v = Spice.Trace.signal trace "out" in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i t ->
+      let expected = analytic t in
+      worst := Float.max !worst (abs_float (v.(i) -. expected)))
+    trace.Spice.Trace.times;
+  Alcotest.(check bool)
+    (Printf.sprintf "%s (worst err %.2e)" label !worst)
+    true (!worst < tolerance)
+
+let test_rc_charging_trapezoidal () =
+  let nl = rc_circuit () in
+  let trace =
+    Spice.Engine.transient nl ~tstop:5e-9 ~probes:[ "out" ]
+      ~options:Spice.Engine.accurate_options
+  in
+  (* An ideal step is discontinuous, so the integrator effectively sees
+     it smeared over the first dt/2; the residual error is O(dt/tau). *)
+  check_against_analytic trace
+    (fun t -> 1.0 -. exp (-.t /. 1e-9))
+    2.5e-3 "trapezoidal RC step"
+
+(* RC response to a finite ramp is smooth, so both integrators converge
+   at their theoretical orders. Closed form with tau = RC, rise Tr:
+   t <= Tr:  v = (t - tau(1 - e^{-t/tau})) / Tr
+   t >  Tr:  v = 1 - (tau/Tr)(1 - e^{-Tr/tau}) e^{-(t-Tr)/tau}. *)
+let rc_ramp_circuit tr =
+  let nl = Netlist.create () in
+  let inp = Netlist.node nl "in" in
+  let out = Netlist.node nl "out" in
+  Netlist.vsource nl inp Netlist.ground
+    (Waveform.Ramp { t0 = 0.0; t1 = tr; v0 = 0.0; v1 = 1.0 });
+  Netlist.resistor nl inp out 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-12;
+  nl
+
+let rc_ramp_analytic ~tau ~tr t =
+  if t <= tr then (t -. (tau *. (1.0 -. exp (-.t /. tau)))) /. tr
+  else
+    1.0 -. (tau /. tr *. (1.0 -. exp (-.tr /. tau)) *. exp (-.(t -. tr) /. tau))
+
+let test_rc_ramp_trapezoidal () =
+  let tr = 0.5e-9 in
+  let nl = rc_ramp_circuit tr in
+  let trace =
+    Spice.Engine.transient nl ~tstop:5e-9 ~probes:[ "out" ]
+      ~options:Spice.Engine.accurate_options
+  in
+  check_against_analytic trace
+    (rc_ramp_analytic ~tau:1e-9 ~tr)
+    1e-5 "trapezoidal RC ramp"
+
+let test_trapezoidal_beats_euler () =
+  let tr = 0.5e-9 in
+  let nl = rc_ramp_circuit tr in
+  let run method_ =
+    let options =
+      { Spice.Engine.default_options with method_; steps_per_chunk = 200 }
+    in
+    let trace = Spice.Engine.transient nl ~tstop:5e-9 ~probes:[ "out" ] ~options in
+    let v = Spice.Trace.signal trace "out" in
+    let err = ref 0.0 in
+    Array.iteri
+      (fun i t ->
+        err := Float.max !err (abs_float (v.(i) -. rc_ramp_analytic ~tau:1e-9 ~tr t)))
+      trace.Spice.Trace.times;
+    !err
+  in
+  let e_trap = run Spice.Transient.Trapezoidal in
+  let e_be = run Spice.Transient.Backward_euler in
+  Alcotest.(check bool)
+    (Printf.sprintf "trap %.2e << euler %.2e" e_trap e_be)
+    true (e_trap < 0.2 *. e_be)
+
+let test_rc_50_delay () =
+  (* 50 % crossing of a first-order RC step is RC·ln 2 ≈ 0.693 ns. *)
+  let nl = rc_circuit () in
+  let delays =
+    Spice.Engine.threshold_delays nl ~probes:[ "out" ] ~horizon:5e-9
+      ~options:Spice.Engine.accurate_options
+  in
+  match delays with
+  | [ ("out", Some t) ] ->
+      Alcotest.(check bool)
+        (Printf.sprintf "t50 = %.4g ns" (t *. 1e9))
+        true
+        (abs_float (t -. (1e-9 *. log 2.0)) < 5e-12)
+  | _ -> Alcotest.fail "expected one crossing"
+
+let test_horizon_extension () =
+  (* Deliberately underestimate the horizon: tau = 1 ns but start the
+     search window at 10 ps; the engine must extend until crossing. *)
+  let nl = rc_circuit () in
+  let delays = Spice.Engine.threshold_delays nl ~probes:[ "out" ] ~horizon:1e-11 in
+  match delays with
+  | [ ("out", Some t) ] ->
+      Alcotest.(check bool) "extended past horizon" true (t > 1e-11);
+      Alcotest.(check bool) "roughly ln2 ns" true
+        (abs_float (t -. 0.693e-9) < 0.05e-9)
+  | _ -> Alcotest.fail "expected crossing after extension"
+
+(* Series RLC with L = 1 nH, C = 100 pF: characteristic impedance
+   Z0 = sqrt(L/C) = 3.162 Ω, so R = 0.632 Ω gives zeta = R/(2·Z0) = 0.1
+   — distinctly underdamped. A pure RC response cannot overshoot, so
+   these two tests exercise the inductor stamps specifically. *)
+let underdamped_rlc () =
+  let nl = Netlist.create () in
+  let inp = Netlist.node nl "in" in
+  let mid = Netlist.node nl "mid" in
+  let out = Netlist.node nl "out" in
+  Netlist.vsource nl inp Netlist.ground step01;
+  Netlist.resistor nl inp mid 0.6324555;
+  Netlist.inductor nl mid out 1e-9;
+  Netlist.capacitor nl out Netlist.ground 1e-10;
+  nl
+
+let test_rlc_underdamped () =
+  let nl = underdamped_rlc () in
+  let trace =
+    Spice.Engine.transient nl ~tstop:1e-8 ~probes:[ "out" ]
+      ~options:Spice.Engine.accurate_options
+  in
+  let v = Spice.Trace.signal trace "out" in
+  let overshoot = Spice.Measure.overshoot ~values:v ~vfinal:1.0 in
+  (* Analytic peak overshoot = exp(-pi*zeta/sqrt(1-zeta^2)) ~ 0.729. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "overshoot %.3f" overshoot)
+    true
+    (abs_float (overshoot -. 0.729) < 0.03)
+
+let test_rlc_oscillation_period () =
+  (* Damped ringing period 2π/(ω_n·sqrt(1−ζ²)) ≈ 1.996 ns: measure the
+     spacing of the first two response peaks. *)
+  let nl = underdamped_rlc () in
+  let trace =
+    Spice.Engine.transient nl ~tstop:1e-8 ~probes:[ "out" ]
+      ~options:Spice.Engine.accurate_options
+  in
+  let v = Spice.Trace.signal trace "out" in
+  let times = trace.Spice.Trace.times in
+  (* Find successive maxima by sign change of the discrete derivative. *)
+  let peaks = ref [] in
+  for i = 1 to Array.length v - 2 do
+    if v.(i) > v.(i - 1) && v.(i) >= v.(i + 1) && v.(i) > 1.0 then
+      peaks := times.(i) :: !peaks
+  done;
+  match List.rev !peaks with
+  | t1 :: t2 :: _ ->
+      let period = t2 -. t1 in
+      let zeta = 0.1 in
+      let expected =
+        2.0 *. Float.pi *. sqrt (1e-9 *. 1e-10) /. sqrt (1.0 -. (zeta *. zeta))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "period %.3g vs %.3g" period expected)
+        true
+        (abs_float (period -. expected) < 0.05 *. expected)
+  | _ -> Alcotest.fail "expected at least two ringing peaks"
+
+let test_transient_continuation () =
+  (* Running 2 x 2.5ns in chunks must equal one 5ns run at the chunk
+     boundary (continuation passes exact state). *)
+  let nl = rc_circuit () in
+  let sys = Spice.Mna.build nl in
+  let x0 = Spice.Transient.dc_operating_point sys in
+  let probes = [| 1 |] in
+  let dt = 5e-9 /. 1000.0 in
+  let full =
+    Spice.Transient.run sys ~method_:Spice.Transient.Trapezoidal ~x0 ~t0:0.0
+      ~dt ~steps:1000 ~probes
+  in
+  let first =
+    Spice.Transient.run sys ~method_:Spice.Transient.Trapezoidal ~x0 ~t0:0.0
+      ~dt ~steps:500 ~probes
+  in
+  let second =
+    Spice.Transient.run sys ~method_:Spice.Transient.Trapezoidal
+      ~x0:first.Spice.Transient.final ~t0:2.5e-9 ~dt ~steps:500 ~probes
+  in
+  let v_full = full.Spice.Transient.states.(0) in
+  let v_cat =
+    Array.append first.Spice.Transient.states.(0)
+      second.Spice.Transient.states.(0)
+  in
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i x -> worst := Float.max !worst (abs_float (x -. v_cat.(i))))
+    v_full;
+  Alcotest.(check bool)
+    (Printf.sprintf "chunked = full (err %.2e)" !worst)
+    true (!worst < 1e-12)
+
+let test_floating_node_rejected () =
+  (* A capacitor-only node has no DC path: G is singular. *)
+  let nl = Netlist.create () in
+  let a = Netlist.node nl "a" in
+  let b = Netlist.node nl "b" in
+  Netlist.vsource nl a Netlist.ground (Waveform.Dc 1.0);
+  Netlist.capacitor nl a b 1e-12;
+  Netlist.capacitor nl b Netlist.ground 1e-12;
+  match Spice.Engine.dc nl with
+  | exception Numeric.Lu.Singular _ -> ()
+  | _ -> Alcotest.fail "expected singular matrix"
+
+let test_engine_argument_validation () =
+  let nl = rc_circuit () in
+  Alcotest.check_raises "bad tstop"
+    (Invalid_argument "Engine.transient: tstop must be positive") (fun () ->
+      ignore (Spice.Engine.transient nl ~tstop:0.0 ~probes:[ "out" ]));
+  Alcotest.check_raises "unknown probe"
+    (Invalid_argument "Engine: unknown probe node nope") (fun () ->
+      ignore (Spice.Engine.transient nl ~tstop:1e-9 ~probes:[ "nope" ]));
+  Alcotest.check_raises "ground probe"
+    (Invalid_argument "Engine: cannot probe ground") (fun () ->
+      ignore (Spice.Engine.transient nl ~tstop:1e-9 ~probes:[ "0" ]));
+  Alcotest.check_raises "bad horizon"
+    (Invalid_argument "Engine.threshold_delays: horizon must be positive")
+    (fun () ->
+      ignore (Spice.Engine.threshold_delays nl ~probes:[ "out" ] ~horizon:0.0))
+
+let test_max_delay_failure_path () =
+  (* tau = 1 s but the search window tops out after two doublings of a
+     1 ns horizon: the threshold is unreachable and max_delay must fail
+     loudly rather than return garbage. *)
+  let nl = Netlist.create () in
+  let inp = Netlist.node nl "in" in
+  let out = Netlist.node nl "out" in
+  Netlist.vsource nl inp Netlist.ground step01;
+  Netlist.resistor nl inp out 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-3;
+  let options = { Spice.Engine.fast_options with max_extensions = 2 } in
+  match Spice.Engine.max_delay ~options nl ~probes:[ "out" ] ~horizon:1e-9 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected Failure"
+
+let test_threshold_already_settled () =
+  (* A DC source: every node is at its final value from t=0, so the
+     threshold is crossed at time zero by convention. *)
+  let nl = Netlist.create () in
+  let inp = Netlist.node nl "in" in
+  let out = Netlist.node nl "out" in
+  Netlist.vsource nl inp Netlist.ground (Waveform.Dc 1.0);
+  Netlist.resistor nl inp out 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-12;
+  match Spice.Engine.threshold_delays nl ~probes:[ "out" ] ~horizon:1e-9 with
+  | [ (_, Some t) ] -> Alcotest.(check (float 0.0)) "zero delay" 0.0 t
+  | _ -> Alcotest.fail "expected an immediate crossing"
+
+(* Measure ------------------------------------------------------------ *)
+
+let test_first_crossing_interpolates () =
+  let times = [| 0.0; 1.0; 2.0 |] and values = [| 0.0; 0.4; 0.8 |] in
+  match Spice.Measure.first_crossing ~times ~values ~level:0.6 with
+  | Some t -> Alcotest.(check (float 1e-12)) "interp" 1.5 t
+  | None -> Alcotest.fail "expected crossing"
+
+let test_first_crossing_none () =
+  let times = [| 0.0; 1.0 |] and values = [| 0.0; 0.3 |] in
+  Alcotest.(check bool) "no crossing" true
+    (Spice.Measure.first_crossing ~times ~values ~level:0.5 = None)
+
+let test_first_crossing_exact_sample () =
+  let times = [| 0.0; 1.0; 2.0 |] and values = [| 0.0; 0.5; 1.0 |] in
+  match Spice.Measure.first_crossing ~times ~values ~level:0.5 with
+  | Some t -> Alcotest.(check (float 0.0)) "exact" 1.0 t
+  | None -> Alcotest.fail "expected crossing"
+
+let test_rise_time () =
+  (* Linear ramp 0..1 over [0,1]: 10-90 rise time is 0.8. *)
+  let n = 101 in
+  let times = Array.init n (fun i -> float_of_int i /. 100.0) in
+  let values = Array.copy times in
+  match Spice.Measure.rise_time ~times ~values ~vfinal:1.0 with
+  | Some rt -> Alcotest.(check (float 1e-9)) "rise" 0.8 rt
+  | None -> Alcotest.fail "expected rise time"
+
+(* Trace -------------------------------------------------------------- *)
+
+let test_trace_csv_and_append () =
+  let t1 =
+    { Spice.Trace.times = [| 0.0; 1.0 |]; names = [| "a" |];
+      data = [| [| 0.1; 0.2 |] |] }
+  in
+  let t2 =
+    { Spice.Trace.times = [| 2.0 |]; names = [| "a" |]; data = [| [| 0.3 |] |] }
+  in
+  let t = Spice.Trace.append t1 t2 in
+  Alcotest.(check int) "length" 3 (Spice.Trace.length t);
+  let csv = Spice.Trace.to_csv t in
+  Alcotest.(check bool) "header" true
+    (String.length csv > 7 && String.sub csv 0 7 = "time,a\n");
+  let mismatched =
+    { Spice.Trace.times = [| 0.0 |]; names = [| "b" |]; data = [| [| 0.0 |] |] }
+  in
+  Alcotest.check_raises "probe mismatch"
+    (Invalid_argument "Trace.append: probe mismatch") (fun () ->
+      ignore (Spice.Trace.append t1 mismatched))
+
+let suites =
+  [ ( "spice",
+      [ Alcotest.test_case "dc divider" `Quick test_dc_divider;
+        Alcotest.test_case "dc current source" `Quick test_dc_current_source;
+        Alcotest.test_case "dc inductor short" `Quick test_dc_inductor_short;
+        Alcotest.test_case "rc charging (trap)" `Quick
+          test_rc_charging_trapezoidal;
+        Alcotest.test_case "rc ramp (trap)" `Quick test_rc_ramp_trapezoidal;
+        Alcotest.test_case "trap beats euler" `Quick test_trapezoidal_beats_euler;
+        Alcotest.test_case "rc 50% delay = RC ln2" `Quick test_rc_50_delay;
+        Alcotest.test_case "horizon extension" `Quick test_horizon_extension;
+        Alcotest.test_case "rlc overshoot" `Quick test_rlc_underdamped;
+        Alcotest.test_case "rlc ringing period" `Quick
+          test_rlc_oscillation_period;
+        Alcotest.test_case "transient continuation" `Quick
+          test_transient_continuation;
+        Alcotest.test_case "floating node rejected" `Quick
+          test_floating_node_rejected;
+        Alcotest.test_case "engine validation" `Quick
+          test_engine_argument_validation;
+        Alcotest.test_case "max_delay failure path" `Quick
+          test_max_delay_failure_path;
+        Alcotest.test_case "threshold already settled" `Quick
+          test_threshold_already_settled;
+        Alcotest.test_case "crossing interpolates" `Quick
+          test_first_crossing_interpolates;
+        Alcotest.test_case "crossing none" `Quick test_first_crossing_none;
+        Alcotest.test_case "crossing exact sample" `Quick
+          test_first_crossing_exact_sample;
+        Alcotest.test_case "rise time" `Quick test_rise_time;
+        Alcotest.test_case "trace csv/append" `Quick test_trace_csv_and_append
+      ] ) ]
