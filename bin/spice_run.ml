@@ -24,7 +24,7 @@ let run_ac nl probes source =
       Printf.printf "  sweep written to %s\n" path)
     probes
 
-let run deck_file probes tstop_s csv delay plot ac =
+let simulate deck_file probes tstop_s csv delay plot ac =
   match Circuit.Deck.read_file_full deck_file with
   | Error e -> `Error (false, deck_file ^ ": " ^ e)
   | Ok (nl, directives) -> (
@@ -57,37 +57,63 @@ let run deck_file probes tstop_s csv delay plot ac =
             (match ac with
             | Some source -> run_ac nl probes source
             | None -> ());
-            if delay then begin
-              let delays =
-                Spice.Engine.threshold_delays nl ~probes ~horizon:tstop
-              in
-              List.iter
-                (fun (name, d) ->
-                  match d with
-                  | Some t ->
-                      Printf.printf "  %-12s 50%% delay %.4g ns\n" name (t *. 1e9)
-                  | None ->
-                      Printf.printf "  %-12s never crossed 50%%\n" name)
-                delays
-            end;
-            let trace = Spice.Engine.transient nl ~tstop ~probes in
-            List.iter
-              (fun p ->
-                let v = Spice.Trace.signal trace p in
-                Printf.printf "  %-12s final %.4g V\n" p
-                  (Spice.Measure.final_value ~values:v))
-              probes;
-            (match csv with
-            | Some path ->
-                Spice.Trace.write_csv path trace;
-                Printf.printf "waveforms written to %s\n" path
-            | None -> ());
-            if plot then
-              List.iter
-                (fun p -> print_string (Spice.Trace.ascii_plot trace p))
-                probes;
-            `Ok ()
+            let delay_result =
+              if not delay then Ok ()
+              else
+                match
+                  Spice.Engine.threshold_delays_result nl ~probes
+                    ~horizon:tstop
+                with
+                | Error e -> Error e
+                | Ok delays ->
+                    List.iter
+                      (fun (name, d) ->
+                        match d with
+                        | Some t ->
+                            Printf.printf "  %-12s 50%% delay %.4g ns\n" name
+                              (t *. 1e9)
+                        | None ->
+                            Printf.printf "  %-12s never crossed 50%%\n" name)
+                      delays;
+                    Ok ()
+            in
+            match delay_result with
+            | Error e ->
+                `Error (false, "simulation failed: " ^ Nontree_error.to_string e)
+            | Ok () -> (
+                match Spice.Engine.transient_result nl ~tstop ~probes with
+                | Error e ->
+                    `Error
+                      (false, "simulation failed: " ^ Nontree_error.to_string e)
+                | Ok trace ->
+                    List.iter
+                      (fun p ->
+                        let v = Spice.Trace.signal trace p in
+                        Printf.printf "  %-12s final %.4g V\n" p
+                          (Spice.Measure.final_value ~values:v))
+                      probes;
+                    (match csv with
+                    | Some path ->
+                        Spice.Trace.write_csv path trace;
+                        Printf.printf "waveforms written to %s\n" path
+                    | None -> ());
+                    if plot then
+                      List.iter
+                        (fun p -> print_string (Spice.Trace.ascii_plot trace p))
+                        probes;
+                    `Ok ())
           end)
+
+(* The AC path still raises; fold every typed failure into one
+   diagnostic line and a nonzero exit. *)
+let run deck_file probes tstop_s csv delay plot ac =
+  try simulate deck_file probes tstop_s csv delay plot ac
+  with
+  | Nontree_error.Error e ->
+      `Error (false, "simulation failed: " ^ Nontree_error.to_string e)
+  | Invalid_argument msg ->
+      (* Bad probe names / horizons arrive from the command line here. *)
+      `Error (false, msg)
 
 let deck_file =
   Arg.(

@@ -9,8 +9,7 @@ open Cmdliner
 let config_of trials sizes seed =
   { Nontree.Experiment.default with trials; sizes; seed }
 
-let run table figure ext trials sizes seed svg_dir =
-  let config = config_of trials sizes seed in
+let dispatch config table figure ext svg_dir =
   match (table, figure, ext) with
   | Some t, None, None -> (
       match t with
@@ -87,6 +86,28 @@ let run table figure ext trials sizes seed svg_dir =
       `Error (true, "pick one of --table, --figure or --ext")
   | _ -> `Error (true, "--table, --figure and --ext are mutually exclusive")
 
+let run table figure ext trials sizes seed svg_dir fault_rate fault_seed
+    log_level =
+  Logs.set_reporter (Logs.format_reporter ~dst:Format.err_formatter ());
+  Logs.set_level log_level;
+  Nontree_error.Counters.reset ();
+  if fault_rate > 0.0 then
+    (* Derive the fault schedule from the experiment seed unless pinned,
+       so --seed alone reproduces the whole run, faults included. *)
+    Fault.enable_uniform ~rate:fault_rate
+      ~seed:(match fault_seed with Some s -> s | None -> seed + 0x5EED)
+  else Fault.disable ();
+  let config = config_of trials sizes seed in
+  let result =
+    try dispatch config table figure ext svg_dir
+    with Nontree_error.Error e ->
+      `Error (false, "oracle failure: " ^ Nontree_error.to_string e)
+  in
+  (match Harness.Runs.robustness_summary () with
+  | Some line -> Printf.eprintf "%s\n%!" line
+  | None -> ());
+  result
+
 let table =
   Arg.(
     value
@@ -123,11 +144,47 @@ let svg_dir =
     value & opt string "figures"
     & info [ "svg-dir" ] ~docv:"DIR" ~doc:"Figure SVG output directory.")
 
+let fault_rate =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-rate" ] ~docv:"P"
+        ~doc:
+          "Inject oracle faults with total probability $(docv) per \
+           evaluation (split evenly over singular-stamp, NaN-waveform and \
+           stalled-probe faults). 0 disables injection.")
+
+let fault_seed =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fault-seed" ] ~docv:"N"
+        ~doc:
+          "Seed for the fault schedule; defaults to a value derived from \
+           --seed.")
+
+let log_level =
+  let levels =
+    [ ("quiet", None);
+      ("error", Some Logs.Error);
+      ("warning", Some Logs.Warning);
+      ("info", Some Logs.Info);
+      ("debug", Some Logs.Debug) ]
+  in
+  Arg.(
+    value
+    & opt (enum levels) (Some Logs.Warning)
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Diagnostic verbosity on stderr: quiet, error, warning, info or \
+           debug. Retries log at info, degradations at warning.")
+
 let cmd =
   let doc = "regenerate a single table or figure of the paper" in
   Cmd.v
     (Cmd.info "tables" ~doc)
     Term.(
-      ret (const run $ table $ figure $ ext $ trials $ sizes $ seed $ svg_dir))
+      ret
+        (const run $ table $ figure $ ext $ trials $ sizes $ seed $ svg_dir
+        $ fault_rate $ fault_seed $ log_level))
 
 let () = exit (Cmd.eval cmd)

@@ -15,12 +15,12 @@ let weighted_delay ~model ~tech ~alphas r =
   List.fold_left
     (fun acc (v, d) -> acc +. (alphas.(v - 1) *. d))
     0.0
-    (Delay.Model.sink_delays model ~tech r)
+    (Delay.Robust.sink_delays_exn ~model ~tech r)
 
 let ldrg ?max_edges ~model ~tech ~alphas initial =
   check_alphas alphas initial;
   Ldrg.run_objective ?max_edges
-    ~objective:(fun r -> weighted_delay ~model ~tech ~alphas r)
+    ~objective:(Oracle.guard (fun r -> weighted_delay ~model ~tech ~alphas r))
     initial
 
 let ert_seed ~tech ~alphas net = Ert.construct_weighted ~tech ~alphas net

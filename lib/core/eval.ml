@@ -1,7 +1,12 @@
 type t = { delay : float; cost : float }
 
+let measure_result ?policy ~model ~tech r =
+  match Delay.Robust.max_delay ?policy ~model ~tech r with
+  | Ok delay -> Ok { delay; cost = Routing.cost r }
+  | Error e -> Error e
+
 let measure ~model ~tech r =
-  { delay = Delay.Model.max_delay model ~tech r; cost = Routing.cost r }
+  { delay = Delay.Robust.max_delay_exn ~model ~tech r; cost = Routing.cost r }
 
 let ratio x ~baseline =
   { delay = x.delay /. baseline.delay; cost = x.cost /. baseline.cost }

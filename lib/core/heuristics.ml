@@ -10,7 +10,7 @@ let h1 ?(max_iterations = max_int) ~model ~tech initial =
   let evaluations = ref 0 in
   let sink_delays r =
     incr evaluations;
-    Delay.Model.sink_delays model ~tech r
+    Delay.Robust.sink_delays_exn ~model ~tech r
   in
   let max_of delays =
     List.fold_left (fun acc (_, d) -> Float.max acc d) 0.0 delays
@@ -25,7 +25,13 @@ let h1 ?(max_iterations = max_int) ~model ~tech initial =
             (current, steps)
           else begin
             let trial = Routing.add_edge current source w in
-            let trial_delays = sink_delays trial in
+            match Nontree_error.protect (fun () -> sink_delays trial) with
+            | Error _ ->
+                (* A candidate that cannot be evaluated even after retry
+                   and fallback is simply not taken. *)
+                Nontree_error.Counters.incr_dropped_evaluations ();
+                (current, steps)
+            | Ok trial_delays ->
             let before = max_of current_delays in
             let after = max_of trial_delays in
             if after < before *. (1.0 -. 1e-9) then begin

@@ -53,7 +53,7 @@ let run_objective ?(max_edges = max_int) ?(min_improvement = 1e-9)
 
 let run ?max_edges ?candidates ~model ~tech initial =
   run_objective ?max_edges ?candidates
-    ~objective:(fun r -> Delay.Model.max_delay model ~tech r)
+    ~objective:(Oracle.objective ~model ~tech)
     initial
 
 let run_budgeted ?max_edges ~max_cost_ratio ~model ~tech initial =
@@ -68,7 +68,7 @@ let run_budgeted ?max_edges ~max_cost_ratio ~model ~tech initial =
       (Routing.candidate_edges r)
   in
   run_objective ?max_edges ~candidates
-    ~objective:(fun r -> Delay.Model.max_delay model ~tech r)
+    ~objective:(Oracle.objective ~model ~tech)
     initial
 
 let routing_after trace k =

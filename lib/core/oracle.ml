@@ -1,0 +1,25 @@
+let src = Logs.Src.create "nontree.oracle" ~doc:"Greedy-loop delay oracle"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let net_of_points points =
+  match Geom.Net.of_list points with
+  | net -> Ok net
+  | exception Invalid_argument msg -> Error (Nontree_error.Invalid_net msg)
+
+let guard objective =
+  let first = ref true in
+  fun r ->
+    let initial = !first in
+    first := false;
+    match Nontree_error.protect (fun () -> objective r) with
+    | Ok d -> d
+    | Error e when initial -> Nontree_error.raise_error e
+    | Error e ->
+        Nontree_error.Counters.incr_dropped_evaluations ();
+        Log.warn (fun f ->
+            f "dropping candidate evaluation: %s" (Nontree_error.to_string e));
+        Float.infinity
+
+let objective ~model ~tech =
+  guard (fun r -> Delay.Robust.max_delay_exn ~model ~tech r)

@@ -1,0 +1,29 @@
+(** Robust oracle access for the greedy loops.
+
+    The loops (LDRG, pruning, wire sizing, ...) evaluate one baseline
+    routing followed by many candidate edits. Failure semantics differ:
+    if the *baseline* cannot be evaluated the whole net is unusable and
+    the typed error propagates (callers drop the net and count it),
+    whereas a failed *candidate* evaluation merely discards that
+    candidate — it scores [infinity], is never selected, and the loop
+    continues. Both paths go through {!Delay.Robust}, so every failure
+    has already survived retry-with-refinement and model degradation
+    before reaching these guards. *)
+
+val net_of_points :
+  Geom.Point.t list -> (Geom.Net.t, Nontree_error.t) result
+(** Safe net construction: coincident pins, too few pins and similar
+    degeneracies come back as [Invalid_net] instead of
+    [Invalid_argument]. *)
+
+val guard : (Routing.t -> float) -> Routing.t -> float
+(** [guard objective] wraps an objective that may raise
+    {!Nontree_error.Error}: the first evaluation re-raises (baseline
+    semantics), later evaluations log, count a dropped evaluation and
+    return [infinity] (candidate semantics). The guard is stateful —
+    build a fresh one per greedy loop. *)
+
+val objective :
+  model:Delay.Model.t -> tech:Circuit.Technology.t -> Routing.t -> float
+(** [objective ~model ~tech] is a fresh guarded max-delay objective
+    running on the fault-tolerant {!Delay.Robust} path. *)

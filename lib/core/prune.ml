@@ -14,9 +14,10 @@ type trace = {
 
 let run ?(tolerance = 1e-3) ~model ~tech initial =
   let evaluations = ref 0 in
+  let robust = Oracle.objective ~model ~tech in
   let objective r =
     incr evaluations;
-    Delay.Model.max_delay model ~tech r
+    robust r
   in
   let baseline = objective initial in
   let ceiling = baseline *. (1.0 +. tolerance) in

@@ -18,7 +18,7 @@ let size_greedy ?(widths = [ 1.0; 2.0; 3.0 ]) ?(max_changes = max_int) ~model
       in
       increasing widths
   | _ -> invalid_arg "Wire_sizing: widths must start at 1");
-  let delay_of r = Delay.Model.max_delay model ~tech r in
+  let delay_of = Oracle.objective ~model ~tech in
   let rec loop current current_delay changes count =
     if count >= max_changes then (current, changes)
     else begin
@@ -46,5 +46,5 @@ let size_greedy ?(widths = [ 1.0; 2.0; 3.0 ]) ?(max_changes = max_int) ~model
 
 let merge_parallel_delay ~model ~tech r (u, v) =
   let current = Routing.width r u v in
-  Delay.Model.max_delay model ~tech
+  Delay.Robust.max_delay_exn ~model ~tech
     (Routing.set_width r u v (2.0 *. current))

@@ -3,7 +3,12 @@
     The paper evaluates routings with SPICE but steers some heuristics
     with Elmore delay; the LDRG greedy loop can run against any of
     these oracles, which is how the repository's oracle-fidelity
-    ablation (experiment X3 in DESIGN.md) is expressed. *)
+    ablation (experiment X3 in DESIGN.md) is expressed.
+
+    The [_result] variants carry operational failures (singular
+    matrices, non-finite values, unsettled probes, unusable nets) as
+    [Nontree_error.t] instead of exceptions; {!Robust} builds the
+    retry-and-degrade policy on top of them. *)
 
 type spice_config = {
   options : Spice.Engine.options;
@@ -13,7 +18,7 @@ type spice_config = {
 
 type t =
   | Elmore_tree
-      (** O(k) tree formula; raises on non-tree routings *)
+      (** O(k) tree formula; [Invalid_net] on non-tree routings *)
   | First_moment
       (** exact first moment from the conductance matrix; any graph *)
   | Two_pole
@@ -36,16 +41,36 @@ val rlc_spice : spice_config
 val name : t -> string
 (** Short label for tables ("elmore", "spice", ...). *)
 
+val sink_delays_result :
+  ?horizon_scale:float ->
+  t ->
+  tech:Circuit.Technology.t ->
+  Routing.t ->
+  ((int * float) list, Nontree_error.t) result
+(** Delay to every sink, as (vertex, seconds). All returned delays are
+    guaranteed finite; any NaN/Inf, singular factorisation, unsettled
+    probe, or tree-only-oracle-on-a-graph condition becomes an [Error].
+    [horizon_scale] (default 1) stretches the SPICE transient window —
+    the retry-with-refinement lever of {!Robust}. *)
+
 val sink_delays :
   t -> tech:Circuit.Technology.t -> Routing.t -> (int * float) list
-(** Delay to every sink, as (vertex, seconds).
+(** Legacy variant of {!sink_delays_result}.
 
-    @raise Invalid_argument when [Elmore_tree] is applied to a
-    non-tree routing.
-    @raise Failure when a SPICE simulation fails to settle. *)
+    @raise Nontree_error.Error on any operational failure. *)
+
+val max_delay_result :
+  ?horizon_scale:float ->
+  t ->
+  tech:Circuit.Technology.t ->
+  Routing.t ->
+  (float, Nontree_error.t) result
+(** The objective t(G) = max over sinks, as a result. *)
 
 val max_delay : t -> tech:Circuit.Technology.t -> Routing.t -> float
-(** The objective t(G) = max over sinks. *)
+(** The objective t(G) = max over sinks.
+
+    @raise Nontree_error.Error on any operational failure. *)
 
 val spice_horizon : tech:Circuit.Technology.t -> Routing.t -> float
 (** Initial transient window used for SPICE runs: a small multiple of

@@ -1,0 +1,84 @@
+type t =
+  | Singular_matrix of { stage : string; column : int }
+  | Non_finite of { stage : string; value : float }
+  | Probe_never_settled of { probe : string; horizon : float }
+  | Invalid_net of string
+
+exception Error of t
+
+let raise_error e = raise (Error e)
+
+let to_string = function
+  | Singular_matrix { stage; column } ->
+      if column < 0 then
+        Printf.sprintf "singular matrix in %s (non-finite entries)" stage
+      else Printf.sprintf "singular matrix in %s (pivot column %d)" stage column
+  | Non_finite { stage; value } ->
+      Printf.sprintf "non-finite value (%s) in %s" (Float.to_string value) stage
+  | Probe_never_settled { probe; horizon } ->
+      Printf.sprintf "probe %s never settled within %.3g s" probe horizon
+  | Invalid_net reason -> "invalid net: " ^ reason
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let protect f = try Ok (f ()) with Error e -> Result.Error e
+
+module Counters = struct
+  type snapshot = {
+    retries : int;
+    moment_fallbacks : int;
+    elmore_fallbacks : int;
+    faults_injected : int;
+    faults_survived : int;
+    dropped_evaluations : int;
+    dropped_nets : int;
+    oracle_errors : int;
+  }
+
+  let retries = ref 0
+  let moment_fallbacks = ref 0
+  let elmore_fallbacks = ref 0
+  let faults_injected' = ref 0
+  let faults_survived = ref 0
+  let dropped_evaluations = ref 0
+  let dropped_nets = ref 0
+  let oracle_errors = ref 0
+
+  let all =
+    [ retries; moment_fallbacks; elmore_fallbacks; faults_injected';
+      faults_survived; dropped_evaluations; dropped_nets; oracle_errors ]
+
+  let reset () = List.iter (fun r -> r := 0) all
+  let any () = List.exists (fun r -> !r <> 0) all
+
+  let snapshot () =
+    { retries = !retries;
+      moment_fallbacks = !moment_fallbacks;
+      elmore_fallbacks = !elmore_fallbacks;
+      faults_injected = !faults_injected';
+      faults_survived = !faults_survived;
+      dropped_evaluations = !dropped_evaluations;
+      dropped_nets = !dropped_nets;
+      oracle_errors = !oracle_errors }
+
+  let incr_retries () = incr retries
+  let incr_moment_fallbacks () = incr moment_fallbacks
+  let incr_elmore_fallbacks () = incr elmore_fallbacks
+  let incr_faults_injected () = incr faults_injected'
+  let add_faults_survived n = faults_survived := !faults_survived + n
+  let incr_dropped_evaluations () = incr dropped_evaluations
+  let incr_dropped_nets () = incr dropped_nets
+  let incr_oracle_errors () = incr oracle_errors
+
+  let faults_injected () = !faults_injected'
+
+  let summary () =
+    Printf.sprintf
+      "robustness: %d retries, %d fallbacks (%d moment, %d elmore), %d \
+       faults injected, %d survived, %d evals dropped, %d nets dropped, %d \
+       oracle errors"
+      !retries
+      (!moment_fallbacks + !elmore_fallbacks)
+      !moment_fallbacks !elmore_fallbacks !faults_injected' !faults_survived
+      !dropped_evaluations !dropped_nets !oracle_errors
+end

@@ -1,0 +1,58 @@
+type kind = Singular_stamp | Nan_value | Never_settles
+
+type mode =
+  | Off
+  | Probabilistic of {
+      rng : Rng.t;
+      p_singular : float;
+      p_nan : float;
+      p_stall : float;
+    }
+  | Scripted of kind option list ref
+
+let mode = ref Off
+
+let disable () = mode := Off
+
+let check_p name p =
+  if p < 0.0 || p > 1.0 || not (Float.is_finite p) then
+    invalid_arg ("Fault.enable: " ^ name ^ " must be in [0, 1]")
+
+let enable ?(p_singular = 0.0) ?(p_nan = 0.0) ?(p_stall = 0.0) ~seed () =
+  check_p "p_singular" p_singular;
+  check_p "p_nan" p_nan;
+  check_p "p_stall" p_stall;
+  if p_singular +. p_nan +. p_stall > 1.0 then
+    invalid_arg "Fault.enable: probabilities sum past 1";
+  mode := Probabilistic { rng = Rng.create seed; p_singular; p_nan; p_stall }
+
+let enable_uniform ~rate ~seed =
+  let p = rate /. 3.0 in
+  enable ~p_singular:p ~p_nan:p ~p_stall:p ~seed ()
+
+let script kinds = mode := Scripted (ref kinds)
+
+let active () = !mode <> Off
+
+let record = function
+  | Some _ as k ->
+      Nontree_error.Counters.incr_faults_injected ();
+      k
+  | None -> None
+
+let draw ~stage:_ =
+  match !mode with
+  | Off -> None
+  | Probabilistic { rng; p_singular; p_nan; p_stall } ->
+      let u = Rng.float rng 1.0 in
+      record
+        (if u < p_singular then Some Singular_stamp
+         else if u < p_singular +. p_nan then Some Nan_value
+         else if u < p_singular +. p_nan +. p_stall then Some Never_settles
+         else None)
+  | Scripted queue -> (
+      match !queue with
+      | [] -> None
+      | k :: rest ->
+          queue := rest;
+          record k)

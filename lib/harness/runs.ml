@@ -1,5 +1,26 @@
 type config = Nontree.Experiment.config
 
+let log_src =
+  Logs.Src.create "nontree.harness" ~doc:"Per-net fault containment"
+
+module Log = (val Logs.src_log log_src)
+
+(* A net whose evaluation still fails after every retry and fallback is
+   dropped from the table rather than aborting the whole run. *)
+let protect_net ~what f =
+  match Nontree_error.protect f with
+  | Ok v -> Some v
+  | Error e ->
+      Nontree_error.Counters.incr_dropped_nets ();
+      Log.warn (fun m ->
+          m "dropping net (%s): %s" what (Nontree_error.to_string e));
+      None
+
+let robustness_summary () =
+  if Nontree_error.Counters.any () then
+    Some (Nontree_error.Counters.summary ())
+  else None
+
 let measure config r =
   Nontree.Eval.measure ~model:config.Nontree.Experiment.eval_model
     ~tech:config.Nontree.Experiment.tech r
@@ -45,11 +66,11 @@ let per_iteration_table config ~iterations ~labels ~algorithm =
     (fun size ->
       let nets = Nontree.Experiment.nets config ~size in
       let traces =
-        Array.to_list
-          (Array.map
-             (fun net ->
-               iteration_samples config ~iterations (algorithm net))
-             nets)
+        List.filter_map
+          (fun net ->
+            protect_net ~what:(Printf.sprintf "size %d" size) (fun () ->
+                iteration_samples config ~iterations (algorithm net)))
+          (Array.to_list nets)
       in
       List.map
         (fun (label, row) -> { Table.label; size; row })
@@ -68,14 +89,17 @@ let simple_table config ~algorithm =
     (fun size ->
       let nets = Nontree.Experiment.nets config ~size in
       let samples =
-        Array.to_list
-          (Array.map
-             (fun net ->
-               let baseline, routing = algorithm net in
-               sample_pair config ~baseline ~routing)
-             nets)
+        List.filter_map
+          (fun net ->
+            protect_net ~what:(Printf.sprintf "size %d" size) (fun () ->
+                let baseline, routing = algorithm net in
+                sample_pair config ~baseline ~routing))
+          (Array.to_list nets)
       in
-      { Table.label = ""; size; row = Some (Nontree.Stats.summarize samples) })
+      let row =
+        if samples = [] then None else Some (Nontree.Stats.summarize samples)
+      in
+      { Table.label = ""; size; row })
     config.Nontree.Experiment.sizes
 
 (* Tables --------------------------------------------------------------- *)
@@ -175,9 +199,9 @@ let search_nets config ~size ~scan ~score =
   let best = ref None in
   Array.iter
     (fun net ->
-      match score net with
-      | None -> ()
-      | Some (s, payload) -> (
+      match protect_net ~what:"figure search" (fun () -> score net) with
+      | None | Some None -> ()
+      | Some (Some (s, payload)) -> (
           match !best with
           | Some (s', _) when s' <= s -> ()
           | _ -> best := Some (s, payload)))

@@ -6,6 +6,16 @@
 
 type config = Nontree.Experiment.config
 
+val protect_net : what:string -> (unit -> 'a) -> 'a option
+(** Run one net's worth of work; a {!Nontree_error.Error} escaping every
+    retry and fallback drops that net (logged, counted) instead of
+    aborting the whole table. *)
+
+val robustness_summary : unit -> string option
+(** One-line robustness counter summary for the run so far, or [None]
+    when nothing noteworthy (no faults, retries, fallbacks or drops)
+    happened. *)
+
 val table1 : config -> string
 (** The Table 1 technology constants actually in use. *)
 

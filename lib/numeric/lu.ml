@@ -4,56 +4,90 @@ type t = {
   perm : int array;  (* row permutation: row i of LU is row perm.(i) of A *)
   sign : float;      (* parity of the permutation *)
   scratch : float array;  (* reused by solve_in_place *)
+  anorm1 : float;    (* 1-norm of the original matrix, for rcond *)
 }
 
 exception Singular of int
 
 let pivot_floor = 1e-300
 
-let factor m =
+(* A pivot this small relative to the largest entry of the input means
+   the matrix is numerically rank-deficient: dividing by it would
+   produce ~1e13x amplification, i.e. garbage dressed up as a solution.
+   The absolute 1e-300 floor additionally catches exact zeros in
+   all-tiny matrices. *)
+let relative_pivot_threshold = 1e-13
+
+let try_factor m =
   let n = Matrix.rows m in
   if Matrix.cols m <> n then invalid_arg "Lu.factor: matrix not square";
   let a = Array.make (n * n) 0.0 in
+  let amax = ref 0.0 and finite = ref true in
+  let col_sums = Array.make n 0.0 in
   for i = 0 to n - 1 do
     for j = 0 to n - 1 do
-      a.((i * n) + j) <- Matrix.get m i j
+      let v = Matrix.get m i j in
+      a.((i * n) + j) <- v;
+      let av = abs_float v in
+      if not (Float.is_finite v) then finite := false;
+      if av > !amax then amax := av;
+      col_sums.(j) <- col_sums.(j) +. av
     done
   done;
-  let perm = Array.init n Fun.id in
-  let sign = ref 1.0 in
-  for k = 0 to n - 1 do
-    (* Partial pivoting: bring the largest |entry| of column k up. *)
-    let p = ref k in
-    for i = k + 1 to n - 1 do
-      if abs_float a.((i * n) + k) > abs_float a.((!p * n) + k) then p := i
-    done;
-    if !p <> k then begin
-      for j = 0 to n - 1 do
-        let tmp = a.((k * n) + j) in
-        a.((k * n) + j) <- a.((!p * n) + j);
-        a.((!p * n) + j) <- tmp
-      done;
-      let tmp = perm.(k) in
-      perm.(k) <- perm.(!p);
-      perm.(!p) <- tmp;
-      sign := -. !sign
-    end;
-    let pivot = a.((k * n) + k) in
-    if abs_float pivot < pivot_floor then raise (Singular k);
-    for i = k + 1 to n - 1 do
-      let f = a.((i * n) + k) /. pivot in
-      a.((i * n) + k) <- f;
-      if f <> 0.0 then begin
-        let row_i = i * n and row_k = k * n in
-        for j = k + 1 to n - 1 do
-          Array.unsafe_set a (row_i + j)
-            (Array.unsafe_get a (row_i + j)
-            -. (f *. Array.unsafe_get a (row_k + j)))
-        done
-      end
-    done
-  done;
-  { n; lu = a; perm; sign = !sign; scratch = Array.make n 0.0 }
+  if not !finite then Error (-1)
+  else begin
+    let anorm1 = Array.fold_left Float.max 0.0 col_sums in
+    let floor = Float.max pivot_floor (relative_pivot_threshold *. !amax) in
+    let perm = Array.init n Fun.id in
+    let sign = ref 1.0 in
+    let result = ref None in
+    (try
+       for k = 0 to n - 1 do
+         (* Partial pivoting: bring the largest |entry| of column k up. *)
+         let p = ref k in
+         for i = k + 1 to n - 1 do
+           if abs_float a.((i * n) + k) > abs_float a.((!p * n) + k) then
+             p := i
+         done;
+         if !p <> k then begin
+           for j = 0 to n - 1 do
+             let tmp = a.((k * n) + j) in
+             a.((k * n) + j) <- a.((!p * n) + j);
+             a.((!p * n) + j) <- tmp
+           done;
+           let tmp = perm.(k) in
+           perm.(k) <- perm.(!p);
+           perm.(!p) <- tmp;
+           sign := -. !sign
+         end;
+         let pivot = a.((k * n) + k) in
+         if abs_float pivot < floor || not (Float.is_finite pivot) then begin
+           result := Some (Error k);
+           raise Exit
+         end;
+         for i = k + 1 to n - 1 do
+           let f = a.((i * n) + k) /. pivot in
+           a.((i * n) + k) <- f;
+           if f <> 0.0 then begin
+             let row_i = i * n and row_k = k * n in
+             for j = k + 1 to n - 1 do
+               Array.unsafe_set a (row_i + j)
+                 (Array.unsafe_get a (row_i + j)
+                 -. (f *. Array.unsafe_get a (row_k + j)))
+             done
+           end
+         done
+       done
+     with Exit -> ());
+    match !result with
+    | Some err -> err
+    | None ->
+        Ok
+          { n; lu = a; perm; sign = !sign; scratch = Array.make n 0.0; anorm1 }
+  end
+
+let factor m =
+  match try_factor m with Ok t -> t | Error k -> raise (Singular k)
 
 let solve_in_place t b =
   let n = t.n in
@@ -88,6 +122,77 @@ let solve t b =
   let x = Array.copy b in
   solve_in_place t x;
   x
+
+(* Solve A^T w = b. With PA = LU we have A^T = U^T L^T P, so: forward
+   substitution on U^T (diagonal from U), back substitution on L^T
+   (unit diagonal), then undo the permutation. *)
+let solve_transpose_in_place t b =
+  let n = t.n in
+  if Array.length b <> n then invalid_arg "Lu.solve_transpose: length mismatch";
+  let lu = t.lu in
+  let y = t.scratch in
+  Array.blit b 0 y 0 n;
+  (* U^T y' = b: U^T is lower triangular with U's diagonal. *)
+  for i = 0 to n - 1 do
+    let s = ref (Array.unsafe_get y i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Array.unsafe_get lu ((j * n) + i) *. Array.unsafe_get y j)
+    done;
+    Array.unsafe_set y i (!s /. Array.unsafe_get lu ((i * n) + i))
+  done;
+  (* L^T v = y': L^T is upper triangular with unit diagonal. *)
+  for i = n - 1 downto 0 do
+    let s = ref (Array.unsafe_get y i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Array.unsafe_get lu ((j * n) + i) *. Array.unsafe_get y j)
+    done;
+    Array.unsafe_set y i !s
+  done;
+  (* v = P w, i.e. w.(perm.(i)) = v.(i). *)
+  for i = 0 to n - 1 do
+    b.(t.perm.(i)) <- y.(i)
+  done
+
+let norm1 v = Array.fold_left (fun acc x -> acc +. abs_float x) 0.0 v
+
+(* Hager's 1-norm condition estimator: a handful of solves with A and
+   A^T produce a lower bound on ||A^-1||_1, hence an upper bound on
+   rcond = 1 / (||A||_1 ||A^-1||_1). *)
+let rcond t =
+  if t.n = 0 then 1.0
+  else if t.anorm1 = 0.0 then 0.0
+  else begin
+    let n = t.n in
+    let x = Array.make n (1.0 /. float_of_int n) in
+    let est = ref 0.0 in
+    (try
+       for _iter = 0 to 4 do
+         let z = solve t x in
+         est := Float.max !est (norm1 z);
+         let xi =
+           Array.map (fun v -> if v >= 0.0 then 1.0 else -1.0) z
+         in
+         solve_transpose_in_place t xi;
+         (* xi now holds w = A^-T sign(z). *)
+         let j = ref 0 in
+         for i = 1 to n - 1 do
+           if abs_float xi.(i) > abs_float xi.(!j) then j := i
+         done;
+         let wx =
+           let s = ref 0.0 in
+           for i = 0 to n - 1 do
+             s := !s +. (xi.(i) *. x.(i))
+           done;
+           !s
+         in
+         if abs_float xi.(!j) <= wx then raise Exit;
+         Array.fill x 0 n 0.0;
+         x.(!j) <- 1.0
+       done
+     with Exit -> ());
+    if !est = 0.0 || not (Float.is_finite !est) then 0.0
+    else Float.min 1.0 (1.0 /. (t.anorm1 *. !est))
+  end
 
 let solve_matrix m b = solve (factor m) b
 

@@ -2,15 +2,31 @@
 
     The transient engine factors the MNA system matrix once per
     topology and timestep size, then back-substitutes once per step, so
-    factorisation and solving are exposed separately. *)
+    factorisation and solving are exposed separately.
+
+    Singularity is detected, not masked: a pivot smaller than 1e-13
+    times the largest input entry (or 1e-300 absolutely) marks the
+    matrix numerically rank-deficient, as do non-finite input entries.
+    Earlier revisions silently clamped such pivots and returned
+    garbage; the fault-tolerant oracle stack depends on the failure
+    being reported. *)
 
 type t
 (** A factorisation PA = LU of a square matrix. *)
 
 exception Singular of int
-(** Raised (with the offending pivot column) when a pivot is exactly
-    zero or smaller than an absolute floor of 1e-300 — circuits whose
-    MNA matrix is singular are malformed (e.g. a floating node). *)
+(** Raised (with the offending pivot column, or [-1] for non-finite
+    input entries) when no usable pivot exists — circuits whose MNA
+    matrix is singular are malformed (e.g. a floating node or a
+    zero-length wire stamped as an infinite conductance). *)
+
+val try_factor : Matrix.t -> (t, int) result
+(** [try_factor m] is the [Result]-returning factorisation used by the
+    fault-tolerant oracle route: [Error k] reports the pivot column
+    whose scaled pivot fell below threshold, [Error (-1)] a non-finite
+    input entry. Pivot selection is identical to {!factor}.
+
+    @raise Invalid_argument when the matrix is not square. *)
 
 val factor : Matrix.t -> t
 (** @raise Singular when no usable pivot exists.
@@ -24,6 +40,17 @@ val solve : t -> float array -> float array
 val solve_in_place : t -> float array -> unit
 (** Like {!solve} but overwrites [b] with the solution, avoiding
     allocation in the transient inner loop. *)
+
+val solve_transpose_in_place : t -> float array -> unit
+(** Solves A{^T} w = b in place — needed by the condition estimator.
+
+    @raise Invalid_argument on a length mismatch. *)
+
+val rcond : t -> float
+(** Reciprocal condition number estimate 1 / (‖A‖₁ ‖A⁻¹‖₁) via Hager's
+    1-norm estimator (a few extra solves; O(n²)). Values near 1 are
+    well conditioned; values near the pivot threshold mean the
+    factorisation, though it completed, should not be trusted. *)
 
 val solve_matrix : Matrix.t -> float array -> float array
 (** One-shot convenience: factor then solve. *)

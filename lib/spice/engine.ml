@@ -10,14 +10,56 @@ let default_options =
 let fast_options = { default_options with steps_per_chunk = 160 }
 let accurate_options = { default_options with steps_per_chunk = 2500 }
 
+(* Operational failures (singular stamps, waveform blow-ups, probes
+   that never settle) travel as [Nontree_error.t] results so the
+   robustness layer can retry or degrade; argument-shape errors remain
+   Invalid_argument. *)
+
+let singular_error ~stage k =
+  if k < 0 then Nontree_error.Non_finite { stage; value = Float.nan }
+  else Nontree_error.Singular_matrix { stage; column = k }
+
+let check_finite ~stage arr =
+  let n = Array.length arr in
+  let rec go i =
+    if i >= n then Ok ()
+    else if Float.is_finite (Array.unsafe_get arr i) then go (i + 1)
+    else Error (Nontree_error.Non_finite { stage; value = arr.(i) })
+  in
+  go 0
+
+(* Fault injection: the oracle stack's test harness asks this layer to
+   fail on purpose; see lib/fault. Consulted once per delay query. *)
+let injected_fault ~horizon =
+  match Fault.draw ~stage:"spice" with
+  | None -> None
+  | Some Fault.Singular_stamp ->
+      Some (Nontree_error.Singular_matrix { stage = "spice.injected"; column = 0 })
+  | Some Fault.Nan_value ->
+      Some (Nontree_error.Non_finite { stage = "spice.injected"; value = Float.nan })
+  | Some Fault.Never_settles ->
+      Some (Nontree_error.Probe_never_settled { probe = "(injected)"; horizon })
+
+let ( let* ) = Result.bind
+
+let dc_result nl =
+  match
+    let sys = Mna.build nl in
+    let x = Transient.dc_operating_point sys in
+    (sys, x)
+  with
+  | exception Numeric.Lu.Singular k -> Error (singular_error ~stage:"spice.dc" k)
+  | sys, x ->
+      let* () = check_finite ~stage:"spice.dc" x in
+      let result = ref [] in
+      for node = Circuit.Netlist.num_nodes nl - 1 downto 1 do
+        result :=
+          (Circuit.Netlist.node_name nl node, Mna.voltage sys x node) :: !result
+      done;
+      Ok !result
+
 let dc nl =
-  let sys = Mna.build nl in
-  let x = Transient.dc_operating_point sys in
-  let result = ref [] in
-  for node = Circuit.Netlist.num_nodes nl - 1 downto 1 do
-    result := (Circuit.Netlist.node_name nl node, Mna.voltage sys x node) :: !result
-  done;
-  !result
+  match dc_result nl with Ok r -> r | Error e -> Nontree_error.raise_error e
 
 let probe_indices nl (sys : Mna.t) probes =
   List.map
@@ -31,100 +73,153 @@ let probe_indices nl (sys : Mna.t) probes =
     probes
   |> Array.of_list
 
-let transient ?(options = default_options) nl ~tstop ~probes =
+let transient_result ?(options = default_options) nl ~tstop ~probes =
   if tstop <= 0.0 then invalid_arg "Engine.transient: tstop must be positive";
-  let sys = Mna.build nl in
-  let idx = probe_indices nl sys probes in
-  let x0 = Transient.dc_operating_point sys in
-  let dt = tstop /. float_of_int options.steps_per_chunk in
-  let chunk =
-    Transient.run sys ~method_:options.method_ ~x0 ~t0:0.0 ~dt
-      ~steps:options.steps_per_chunk ~probes:idx
-  in
-  (* Prepend the t=0 operating point so traces start at time zero. *)
-  let times = Array.append [| 0.0 |] chunk.Transient.times in
-  let data =
-    Array.mapi
-      (fun p col -> Array.append [| x0.(idx.(p)) |] col)
-      chunk.Transient.states
-  in
-  { Trace.times; names = Array.of_list probes; data }
+  match
+    let sys = Mna.build nl in
+    let idx = probe_indices nl sys probes in
+    let x0 = Transient.dc_operating_point sys in
+    let dt = tstop /. float_of_int options.steps_per_chunk in
+    let chunk =
+      Transient.run sys ~method_:options.method_ ~x0 ~t0:0.0 ~dt
+        ~steps:options.steps_per_chunk ~probes:idx
+    in
+    (idx, x0, chunk)
+  with
+  | exception Numeric.Lu.Singular k ->
+      Error (singular_error ~stage:"spice.transient" k)
+  | idx, x0, chunk ->
+      let* () = check_finite ~stage:"spice.transient" chunk.Transient.final in
+      (* Prepend the t=0 operating point so traces start at time zero. *)
+      let times = Array.append [| 0.0 |] chunk.Transient.times in
+      let data =
+        Array.mapi
+          (fun p col -> Array.append [| x0.(idx.(p)) |] col)
+          chunk.Transient.states
+      in
+      Ok { Trace.times; names = Array.of_list probes; data }
 
-let threshold_delays ?(options = default_options) ?(fraction = 0.5) nl ~probes
-    ~horizon =
+let transient ?options nl ~tstop ~probes =
+  match transient_result ?options nl ~tstop ~probes with
+  | Ok t -> t
+  | Error e -> Nontree_error.raise_error e
+
+let threshold_delays_result ?(options = default_options) ?(fraction = 0.5) nl
+    ~probes ~horizon =
   if horizon <= 0.0 then
     invalid_arg "Engine.threshold_delays: horizon must be positive";
-  let sys = Mna.build nl in
-  let idx = probe_indices nl sys probes in
-  let num_probes = Array.length idx in
-  let x0 = Transient.dc_operating_point sys in
-  (* Final values: DC with sources settled. All supported settling
-     waveforms (Step/Ramp/Pwl/Dc) are constant after their last corner,
-     so evaluating far beyond the horizon is exact. *)
-  let t_settled = 1e6 *. horizon in
-  let xf =
-    Numeric.Lu.solve (Numeric.Lu.factor sys.Mna.g) (sys.Mna.rhs t_settled)
-  in
-  let target =
-    Array.map (fun u -> x0.(u) +. (fraction *. (xf.(u) -. x0.(u)))) idx
-  in
-  let found = Array.make num_probes None in
-  let prev_v = Array.map (fun u -> x0.(u)) idx in
-  let remaining = ref num_probes in
-  (* Mark probes that already start at their target (degenerate). *)
-  Array.iteri
-    (fun p u ->
-      if x0.(u) >= target.(p) then begin
-        found.(p) <- Some 0.0;
-        decr remaining
-      end)
-    idx;
-  let dt = horizon /. float_of_int options.steps_per_chunk in
-  let x = ref x0 in
-  let t0 = ref 0.0 in
-  let extensions = ref 0 in
-  let chunk_steps = ref options.steps_per_chunk in
-  while !remaining > 0 && !extensions <= options.max_extensions do
-    let chunk =
-      Transient.run sys ~method_:options.method_ ~x0:!x ~t0:!t0 ~dt
-        ~steps:!chunk_steps ~probes:idx
-    in
-    for p = 0 to num_probes - 1 do
-      if found.(p) = None then begin
-        let col = chunk.Transient.states.(p) in
-        let rec scan s prev prev_t =
-          if s >= Array.length col then prev_v.(p) <- prev
-          else if col.(s) >= target.(p) then begin
-            let v0 = prev and v1 = col.(s) in
-            let t1 = chunk.Transient.times.(s) in
-            let t_cross =
-              if v1 = v0 then t1
-              else prev_t +. ((target.(p) -. v0) /. (v1 -. v0) *. (t1 -. prev_t))
-            in
-            found.(p) <- Some t_cross;
-            decr remaining
-          end
-          else scan (s + 1) col.(s) chunk.Transient.times.(s)
-        in
-        scan 0 prev_v.(p) !t0
-      end
-    done;
-    x := chunk.Transient.final;
-    t0 := !t0 +. (float_of_int !chunk_steps *. dt);
-    incr extensions;
-    (* Double the window each retry so n extensions cover 2^n horizons. *)
-    chunk_steps := !chunk_steps * 2
-  done;
-  List.mapi (fun p name -> (name, found.(p))) probes
+  match injected_fault ~horizon with
+  | Some e -> Error e
+  | None -> (
+      match
+        let sys = Mna.build nl in
+        let idx = probe_indices nl sys probes in
+        let x0 = Transient.dc_operating_point sys in
+        (sys, idx, x0)
+      with
+      | exception Numeric.Lu.Singular k ->
+          Error (singular_error ~stage:"spice.dc" k)
+      | sys, idx, x0 ->
+          let num_probes = Array.length idx in
+          let* () = check_finite ~stage:"spice.dc" x0 in
+          (* Final values: DC with sources settled. All supported settling
+             waveforms (Step/Ramp/Pwl/Dc) are constant after their last
+             corner, so evaluating far beyond the horizon is exact. *)
+          let t_settled = 1e6 *. horizon in
+          let* xf =
+            match Numeric.Lu.try_factor sys.Mna.g with
+            | Error k -> Error (singular_error ~stage:"spice.settle" k)
+            | Ok lu -> Ok (Numeric.Lu.solve lu (sys.Mna.rhs t_settled))
+          in
+          let* () = check_finite ~stage:"spice.settle" xf in
+          let target =
+            Array.map (fun u -> x0.(u) +. (fraction *. (xf.(u) -. x0.(u)))) idx
+          in
+          let found = Array.make num_probes None in
+          let prev_v = Array.map (fun u -> x0.(u)) idx in
+          let remaining = ref num_probes in
+          (* Mark probes that already start at their target (degenerate). *)
+          Array.iteri
+            (fun p u ->
+              if x0.(u) >= target.(p) then begin
+                found.(p) <- Some 0.0;
+                decr remaining
+              end)
+            idx;
+          let dt = horizon /. float_of_int options.steps_per_chunk in
+          let x = ref x0 in
+          let t0 = ref 0.0 in
+          let extensions = ref 0 in
+          let chunk_steps = ref options.steps_per_chunk in
+          let failure = ref None in
+          while
+            !failure = None && !remaining > 0
+            && !extensions <= options.max_extensions
+          do
+            match
+              Transient.run sys ~method_:options.method_ ~x0:!x ~t0:!t0 ~dt
+                ~steps:!chunk_steps ~probes:idx
+            with
+            | exception Numeric.Lu.Singular k ->
+                failure := Some (singular_error ~stage:"spice.transient" k)
+            | chunk -> (
+                match
+                  check_finite ~stage:"spice.transient" chunk.Transient.final
+                with
+                | Error e -> failure := Some e
+                | Ok () ->
+                    for p = 0 to num_probes - 1 do
+                      if found.(p) = None then begin
+                        let col = chunk.Transient.states.(p) in
+                        let rec scan s prev prev_t =
+                          if s >= Array.length col then prev_v.(p) <- prev
+                          else if col.(s) >= target.(p) then begin
+                            let v0 = prev and v1 = col.(s) in
+                            let t1 = chunk.Transient.times.(s) in
+                            let t_cross =
+                              if v1 = v0 then t1
+                              else
+                                prev_t
+                                +. ((target.(p) -. v0) /. (v1 -. v0)
+                                   *. (t1 -. prev_t))
+                            in
+                            found.(p) <- Some t_cross;
+                            decr remaining
+                          end
+                          else scan (s + 1) col.(s) chunk.Transient.times.(s)
+                        in
+                        scan 0 prev_v.(p) !t0;
+                        ()
+                      end
+                    done;
+                    x := chunk.Transient.final;
+                    t0 := !t0 +. (float_of_int !chunk_steps *. dt);
+                    incr extensions;
+                    (* Double the window each retry so n extensions cover
+                       2^n horizons. *)
+                    chunk_steps := !chunk_steps * 2)
+          done;
+          (match !failure with
+          | Some e -> Error e
+          | None -> Ok (List.mapi (fun p name -> (name, found.(p))) probes)))
 
-let max_delay ?options ?fraction nl ~probes ~horizon =
-  let delays = threshold_delays ?options ?fraction nl ~probes ~horizon in
+let threshold_delays ?options ?fraction nl ~probes ~horizon =
+  match threshold_delays_result ?options ?fraction nl ~probes ~horizon with
+  | Ok r -> r
+  | Error e -> Nontree_error.raise_error e
+
+let max_delay_result ?options ?fraction nl ~probes ~horizon =
+  let* delays = threshold_delays_result ?options ?fraction nl ~probes ~horizon in
   List.fold_left
     (fun acc (name, d) ->
+      let* acc = acc in
       match d with
-      | Some t -> Float.max acc t
+      | Some t -> Ok (Float.max acc t)
       | None ->
-          failwith
-            (Printf.sprintf
-               "Engine.max_delay: probe %s never reached threshold" name))
-    0.0 delays
+          Error (Nontree_error.Probe_never_settled { probe = name; horizon }))
+    (Ok 0.0) delays
+
+let max_delay ?options ?fraction nl ~probes ~horizon =
+  match max_delay_result ?options ?fraction nl ~probes ~horizon with
+  | Ok d -> d
+  | Error e -> Nontree_error.raise_error e

@@ -2,7 +2,16 @@
 
     This is the "SPICE" the rest of the repository calls: given a
     netlist it computes operating points, transient traces, and the 50 %
-    threshold delays that define the paper's delay metric t(n_i). *)
+    threshold delays that define the paper's delay metric t(n_i).
+
+    Every analysis comes in two flavours: a [_result] variant that
+    reports operational failures (singular MNA matrices, non-finite
+    waveforms, probes that never settle) as [Nontree_error.t] — the
+    fault-tolerant oracle route — and a legacy variant that raises
+    {!Nontree_error.Error} instead. Argument-shape mistakes (unknown
+    probe names, non-positive horizons) raise [Invalid_argument] in
+    both. When fault injection ({!Fault}) is enabled, threshold-delay
+    queries occasionally fail on purpose. *)
 
 type options = {
   method_ : Transient.method_;  (** integration method (default trapezoidal) *)
@@ -26,7 +35,12 @@ val accurate_options : options
 
 val dc : Circuit.Netlist.t -> (string * float) list
 (** DC operating point at t = 0: node name → voltage, excluding
-    ground. *)
+    ground.
+
+    @raise Nontree_error.Error on a singular or non-finite system. *)
+
+val dc_result :
+  Circuit.Netlist.t -> ((string * float) list, Nontree_error.t) result
 
 val transient :
   ?options:options ->
@@ -38,7 +52,35 @@ val transient :
     named nodes.
 
     @raise Invalid_argument for an unknown probe name or a
-    non-positive [tstop]. *)
+    non-positive [tstop].
+    @raise Nontree_error.Error on a singular system or a waveform that
+    leaves the finite range. *)
+
+val transient_result :
+  ?options:options ->
+  Circuit.Netlist.t ->
+  tstop:float ->
+  probes:string list ->
+  (Trace.t, Nontree_error.t) result
+
+val threshold_delays_result :
+  ?options:options ->
+  ?fraction:float ->
+  Circuit.Netlist.t ->
+  probes:string list ->
+  horizon:float ->
+  ((string * float option) list, Nontree_error.t) result
+(** [threshold_delays_result nl ~probes ~horizon] runs the transient
+    from the t=0 operating point, extending (doubling) the simulated
+    window until every probe has crossed [fraction] (default 0.5) of
+    its final DC value or [max_extensions] is exhausted; unreached
+    probes report [None]. [horizon] is the initial window estimate — a
+    few times the slowest expected time constant.
+
+    Waveforms are guarded: any non-finite state value aborts the
+    analysis with [Non_finite] rather than scanning garbage for
+    threshold crossings; singular factorisations surface as
+    [Singular_matrix]. *)
 
 val threshold_delays :
   ?options:options ->
@@ -47,12 +89,20 @@ val threshold_delays :
   probes:string list ->
   horizon:float ->
   (string * float option) list
-(** [threshold_delays nl ~probes ~horizon] runs the transient from the
-    t=0 operating point, extending (doubling) the simulated window
-    until every probe has crossed [fraction] (default 0.5) of its final
-    DC value or [max_extensions] is exhausted; unreached probes report
-    [None]. [horizon] is the initial window estimate — a few times the
-    slowest expected time constant. *)
+(** Legacy variant of {!threshold_delays_result}.
+
+    @raise Nontree_error.Error on operational failure. *)
+
+val max_delay_result :
+  ?options:options ->
+  ?fraction:float ->
+  Circuit.Netlist.t ->
+  probes:string list ->
+  horizon:float ->
+  (float, Nontree_error.t) result
+(** Maximum threshold delay across [probes] — the paper's objective
+    t(G) = max_i t(n_i). A probe that never settles is an error
+    ([Probe_never_settled]), not a silent [None]. *)
 
 val max_delay :
   ?options:options ->
@@ -61,8 +111,7 @@ val max_delay :
   probes:string list ->
   horizon:float ->
   float
-(** Maximum threshold delay across [probes] — the paper's objective
-    t(G) = max_i t(n_i).
+(** Legacy variant of {!max_delay_result}.
 
-    @raise Failure when some probe never settles (the simulation
-    window was exhausted), which indicates a malformed circuit. *)
+    @raise Nontree_error.Error when some probe never settles (the
+    simulation window was exhausted) or the system is singular. *)

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Full verification: build, unit + property tests, a smoke table run,
+# and a fault-injection smoke run (README "Robustness & fallback
+# semantics"). Exits nonzero on the first failure.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build
+dune runtest
+
+echo "== smoke: table 2, clean =="
+dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10
+
+echo "== smoke: table 2, 20% fault injection =="
+dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 \
+  --fault-rate 0.2 --log-level error
+
+echo "all checks passed"

@@ -65,6 +65,27 @@ let test_lu_singular () =
   | exception Lu.Singular _ -> ()
   | _ -> Alcotest.fail "expected Singular"
 
+let test_lu_try_factor_rank_deficient () =
+  (* Rank-deficient within rounding: the pre-threshold code clamped the
+     vanishing pivot to 1e-300 and returned garbage solutions. *)
+  let a = Matrix.of_arrays [| [| 1.0; 1.0 |]; [| 1.0; 1.0 +. 1e-15 |] |] in
+  (match Lu.try_factor a with
+  | Error k -> Alcotest.(check int) "failing pivot column" 1 k
+  | Ok _ -> Alcotest.fail "expected Error on a rank-deficient matrix");
+  (match Lu.factor a with
+  | exception Lu.Singular k -> Alcotest.(check int) "factor raises too" 1 k
+  | _ -> Alcotest.fail "expected Singular");
+  let nan_m = Matrix.of_arrays [| [| Float.nan; 0.0 |]; [| 0.0; 1.0 |] |] in
+  (match Lu.try_factor nan_m with
+  | Error k -> Alcotest.(check int) "non-finite input flag" (-1) k
+  | Ok _ -> Alcotest.fail "expected Error on a NaN matrix");
+  let inf_m =
+    Matrix.of_arrays [| [| Float.infinity; 0.0 |]; [| 0.0; 1.0 |] |]
+  in
+  match Lu.try_factor inf_m with
+  | Error k -> Alcotest.(check int) "infinite input flag" (-1) k
+  | Ok _ -> Alcotest.fail "expected Error on an Inf matrix"
+
 let test_lu_det () =
   let a = Matrix.of_arrays [| [| 3.0; 0.0 |]; [| 0.0; 4.0 |] |] in
   Alcotest.(check (float 1e-12)) "det diag" 12.0 (Lu.det (Lu.factor a));
@@ -124,6 +145,29 @@ let prop_inverse_roundtrip =
       let a, _ = random_dd_system seed n in
       let inv = Lu.inverse a in
       Matrix.max_abs (Matrix.sub (Matrix.mul a inv) (Matrix.identity n)) < 1e-8)
+
+let test_lu_rcond () =
+  let id = Lu.factor (Matrix.identity 4) in
+  Alcotest.(check (float 1e-9)) "identity is perfectly conditioned" 1.0
+    (Lu.rcond id);
+  let near = Matrix.of_arrays [| [| 1.0; 1.0 |]; [| 1.0; 1.0 +. 1e-8 |] |] in
+  Alcotest.(check bool) "near-singular rcond is tiny" true
+    (Lu.rcond (Lu.factor near) < 1e-6);
+  let a, _ = random_dd_system 17 12 in
+  let r = Lu.rcond (Lu.factor a) in
+  Alcotest.(check bool) "well-conditioned system scores high" true
+    (r > 1e-4 && r <= 1.0)
+
+let prop_lu_transpose_solve =
+  QCheck.Test.make ~name:"transpose solve residual small" ~count:40
+    QCheck.(pair small_int (int_range 1 20))
+    (fun (seed, n) ->
+      let a, b = random_dd_system seed n in
+      let f = Lu.factor a in
+      let x = Array.copy b in
+      Lu.solve_transpose_in_place f x;
+      let r = Vec.sub (Matrix.mul_vec (Matrix.transpose a) x) b in
+      Vec.norm_inf r < 1e-8)
 
 let test_matrix_map_scale_frobenius () =
   let a = Matrix.of_arrays [| [| 3.0; 0.0 |]; [| 0.0; 4.0 |] |] in
@@ -204,11 +248,15 @@ let suites =
         Alcotest.test_case "lu known system" `Quick test_lu_known;
         Alcotest.test_case "lu pivoting" `Quick test_lu_pivoting_needed;
         Alcotest.test_case "lu singular" `Quick test_lu_singular;
+        Alcotest.test_case "lu rank-deficient detection" `Quick
+          test_lu_try_factor_rank_deficient;
+        Alcotest.test_case "lu rcond" `Quick test_lu_rcond;
         Alcotest.test_case "lu det" `Quick test_lu_det;
         Alcotest.test_case "lu inverse" `Quick test_lu_inverse;
         QCheck_alcotest.to_alcotest prop_lu_residual;
         QCheck_alcotest.to_alcotest prop_lu_solve_in_place_matches;
         QCheck_alcotest.to_alcotest prop_inverse_roundtrip;
+        QCheck_alcotest.to_alcotest prop_lu_transpose_solve;
         Alcotest.test_case "matrix map/scale/frobenius" `Quick
           test_matrix_map_scale_frobenius;
         Alcotest.test_case "matrix data view" `Quick test_matrix_data_is_live;

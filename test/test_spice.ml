@@ -246,9 +246,12 @@ let test_floating_node_rejected () =
   Netlist.vsource nl a Netlist.ground (Waveform.Dc 1.0);
   Netlist.capacitor nl a b 1e-12;
   Netlist.capacitor nl b Netlist.ground 1e-12;
-  match Spice.Engine.dc nl with
-  | exception Numeric.Lu.Singular _ -> ()
-  | _ -> Alcotest.fail "expected singular matrix"
+  (match Spice.Engine.dc nl with
+  | exception Nontree_error.Error (Nontree_error.Singular_matrix _) -> ()
+  | _ -> Alcotest.fail "expected singular matrix");
+  match Spice.Engine.dc_result nl with
+  | Error (Nontree_error.Singular_matrix _) -> ()
+  | _ -> Alcotest.fail "expected Singular_matrix from dc_result"
 
 let test_engine_argument_validation () =
   let nl = rc_circuit () in
@@ -277,9 +280,17 @@ let test_max_delay_failure_path () =
   Netlist.resistor nl inp out 1e3;
   Netlist.capacitor nl out Netlist.ground 1e-3;
   let options = { Spice.Engine.fast_options with max_extensions = 2 } in
-  match Spice.Engine.max_delay ~options nl ~probes:[ "out" ] ~horizon:1e-9 with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected Failure"
+  (match
+     Spice.Engine.max_delay ~options nl ~probes:[ "out" ] ~horizon:1e-9
+   with
+  | exception Nontree_error.Error (Nontree_error.Probe_never_settled _) -> ()
+  | _ -> Alcotest.fail "expected Probe_never_settled");
+  match
+    Spice.Engine.max_delay_result ~options nl ~probes:[ "out" ] ~horizon:1e-9
+  with
+  | Error (Nontree_error.Probe_never_settled { probe; _ }) ->
+      Alcotest.(check string) "failing probe named" "out" probe
+  | _ -> Alcotest.fail "expected Probe_never_settled from max_delay_result"
 
 let test_threshold_already_settled () =
   (* A DC source: every node is at its final value from t=0, so the
