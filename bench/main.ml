@@ -157,6 +157,49 @@ let run_bechamel () =
       | _ -> Printf.printf "  %-28s (no estimate)\n" name)
     results
 
+(* Per-section accounting -------------------------------------------------- *)
+
+(* What BENCH_nontree.json records for each section that ran: wall time,
+   how many robust-oracle evaluations it issued, and how the memo cache
+   fared. Counter *deltas*, so sections are independent. *)
+type section_stats = {
+  name : string;
+  wall_s : float;
+  oracle_calls : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let hit_rate s =
+  let total = s.cache_hits + s.cache_misses in
+  if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total
+
+let json_of_stats ~jobs ~cache_enabled ~seed ~trials ~sizes ~total_wall_s
+    sections =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"nontree-bench-v1\",\n";
+  Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf buf "  \"cache_enabled\": %b,\n" cache_enabled;
+  Printf.bprintf buf "  \"seed\": %d,\n" seed;
+  Printf.bprintf buf "  \"trials\": %d,\n" trials;
+  Printf.bprintf buf "  \"sizes\": [%s],\n"
+    (String.concat ", " (List.map string_of_int sizes));
+  Printf.bprintf buf "  \"total_wall_s\": %.3f,\n" total_wall_s;
+  Buffer.add_string buf "  \"sections\": [\n";
+  List.iteri
+    (fun i s ->
+      Printf.bprintf buf
+        "    { \"name\": %S, \"wall_s\": %.3f, \"oracle_calls\": %d, \
+         \"cache_hits\": %d, \"cache_misses\": %d, \"cache_hit_rate\": %.4f \
+         }%s\n"
+        s.name s.wall_s s.oracle_calls s.cache_hits s.cache_misses
+        (hit_rate s)
+        (if i = List.length sections - 1 then "" else ","))
+    sections;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
 (* CLI -------------------------------------------------------------------- *)
 
 let () =
@@ -167,6 +210,9 @@ let () =
   let quick = ref false in
   let accurate = ref false in
   let svg_dir = ref "figures" in
+  let jobs = ref 1 in
+  let no_cache = ref false in
+  let bench_json = ref "BENCH_nontree.json" in
   let spec =
     [ ("--trials", Arg.Set_int trials, "N  trials per net size (default 50)");
       ("--sizes", Arg.Set_string sizes, "CSV  net sizes (default 5,10,20,30)");
@@ -178,7 +224,16 @@ let () =
       ( "--accurate",
         Arg.Set accurate,
         "  evaluate with the accurate SPICE profile" );
-      ("--svg-dir", Arg.Set_string svg_dir, "DIR  figure output (default figures)")
+      ("--svg-dir", Arg.Set_string svg_dir, "DIR  figure output (default figures)");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N  worker domains; table contents are identical for any value \
+         (default 1)" );
+      ("--no-cache", Arg.Set no_cache, "  disable the oracle memo cache");
+      ( "--bench-json",
+        Arg.Set_string bench_json,
+        "PATH  machine-readable per-section stats (default \
+         BENCH_nontree.json; empty string disables)" )
     ]
   in
   Arg.parse spec
@@ -198,29 +253,59 @@ let () =
     if !accurate then Delay.Model.Spice Delay.Model.accurate_spice
     else Delay.Model.Spice Delay.Model.fast_spice
   in
+  if !jobs < 1 then begin
+    prerr_endline "bench: --jobs must be >= 1";
+    exit 2
+  end;
   let config =
     { Nontree.Experiment.default with
       trials = !trials;
       sizes = size_list;
       seed = !seed;
-      eval_model }
+      eval_model;
+      jobs = !jobs }
   in
+  Nontree.Oracle.Cache.reset ();
+  Nontree.Oracle.Cache.set_enabled (not !no_cache);
   let wanted =
     if !only = "" then
       [ "1"; "2"; "3"; "4"; "5"; "6"; "7"; "figures"; "ext"; "bechamel" ]
     else String.split_on_char ',' !only |> List.map String.trim
   in
+  let stats = ref [] in
   let section name f =
     if List.mem name wanted then begin
+      let t0 = Unix.gettimeofday () in
+      Delay.Robust.reset_evaluation_count ();
+      let c0 = Nontree.Oracle.Cache.stats () in
       f ();
+      let wall_s = Unix.gettimeofday () -. t0 in
+      let c1 = Nontree.Oracle.Cache.stats () in
+      let s =
+        { name;
+          wall_s;
+          oracle_calls = Delay.Robust.evaluation_count ();
+          cache_hits = c1.Nontree.Oracle.Cache.hits - c0.Nontree.Oracle.Cache.hits;
+          cache_misses =
+            c1.Nontree.Oracle.Cache.misses - c0.Nontree.Oracle.Cache.misses }
+      in
+      stats := s :: !stats;
+      progress
+        "section %s: %.1fs wall, %d oracle calls, cache %d/%d hits (%.1f%%)"
+        name wall_s s.oracle_calls s.cache_hits
+        (s.cache_hits + s.cache_misses)
+        (100.0 *. hit_rate s);
       print_newline ()
     end
   in
   Printf.printf
     "Non-Tree Routing (McCoy & Robins, DATE 1994) -- reproduction harness\n";
-  Printf.printf "seed %d, %d trials per size, sizes [%s], eval model %s\n\n"
+  Printf.printf "seed %d, %d trials per size, sizes [%s], eval model %s\n"
     !seed !trials !sizes
     (Delay.Model.name config.Nontree.Experiment.eval_model);
+  Printf.printf "jobs %d, oracle cache %s\n\n" !jobs
+    (if !no_cache then "off" else "on");
+  let run_t0 = Unix.gettimeofday () in
   section "1" (fun () -> run_table1 config);
   section "2" (fun () -> run_table2 config);
   section "3" (fun () -> run_table3 config);
@@ -231,4 +316,16 @@ let () =
   section "figures" (fun () -> run_figures config ~svg_dir:!svg_dir);
   section "ext" (fun () -> run_extensions config);
   section "bechamel" (fun () -> run_bechamel ());
+  let total_wall_s = Unix.gettimeofday () -. run_t0 in
+  if !bench_json <> "" then begin
+    let json =
+      json_of_stats ~jobs:!jobs ~cache_enabled:(not !no_cache) ~seed:!seed
+        ~trials:!trials ~sizes:size_list ~total_wall_s
+        (List.rev !stats)
+    in
+    let oc = open_out !bench_json in
+    output_string oc json;
+    close_out oc;
+    progress "wrote %s" !bench_json
+  end;
   progress "done"

@@ -6,8 +6,8 @@
 
 open Cmdliner
 
-let config_of trials sizes seed =
-  { Nontree.Experiment.default with trials; sizes; seed }
+let config_of trials sizes seed jobs =
+  { Nontree.Experiment.default with trials; sizes; seed; jobs }
 
 let dispatch config table figure ext svg_dir =
   match (table, figure, ext) with
@@ -87,26 +87,34 @@ let dispatch config table figure ext svg_dir =
   | _ -> `Error (true, "--table, --figure and --ext are mutually exclusive")
 
 let run table figure ext trials sizes seed svg_dir fault_rate fault_seed
-    log_level =
+    jobs no_cache log_level =
   Logs.set_reporter (Logs.format_reporter ~dst:Format.err_formatter ());
   Logs.set_level log_level;
-  Nontree_error.Counters.reset ();
-  if fault_rate > 0.0 then
-    (* Derive the fault schedule from the experiment seed unless pinned,
-       so --seed alone reproduces the whole run, faults included. *)
-    Fault.enable_uniform ~rate:fault_rate
-      ~seed:(match fault_seed with Some s -> s | None -> seed + 0x5EED)
-  else Fault.disable ();
-  let config = config_of trials sizes seed in
-  let result =
-    try dispatch config table figure ext svg_dir
-    with Nontree_error.Error e ->
-      `Error (false, "oracle failure: " ^ Nontree_error.to_string e)
-  in
-  (match Harness.Runs.robustness_summary () with
-  | Some line -> Printf.eprintf "%s\n%!" line
-  | None -> ());
-  result
+  if jobs < 1 then `Error (false, "--jobs must be >= 1")
+  else begin
+    Nontree_error.Counters.reset ();
+    Nontree.Oracle.Cache.reset ();
+    Nontree.Oracle.Cache.set_enabled (not no_cache);
+    if fault_rate > 0.0 then
+      (* Derive the fault schedule from the experiment seed unless pinned,
+         so --seed alone reproduces the whole run, faults included. *)
+      Fault.enable_uniform ~rate:fault_rate
+        ~seed:(match fault_seed with Some s -> s | None -> seed + 0x5EED)
+    else Fault.disable ();
+    let config = config_of trials sizes seed jobs in
+    let result =
+      try dispatch config table figure ext svg_dir
+      with Nontree_error.Error e ->
+        `Error (false, "oracle failure: " ^ Nontree_error.to_string e)
+    in
+    (match Harness.Runs.robustness_summary () with
+    | Some line -> Printf.eprintf "%s\n%!" line
+    | None -> ());
+    (match Nontree.Oracle.Cache.summary () with
+    | Some line -> Printf.eprintf "%s\n%!" line
+    | None -> ());
+    result
+  end
 
 let table =
   Arg.(
@@ -162,6 +170,23 @@ let fault_seed =
           "Seed for the fault schedule; defaults to a value derived from \
            --seed.")
 
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for per-net fan-out and candidate scoring. 1 \
+           (the default) runs the sequential path; any value produces the \
+           same table contents — only wall time changes.")
+
+let no_cache =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the oracle memo cache (enabled by default; cached runs \
+           print the same bytes, a hit/miss summary goes to stderr).")
+
 let log_level =
   let levels =
     [ ("quiet", None);
@@ -185,6 +210,6 @@ let cmd =
     Term.(
       ret
         (const run $ table $ figure $ ext $ trials $ sizes $ seed $ svg_dir
-        $ fault_rate $ fault_seed $ log_level))
+        $ fault_rate $ fault_seed $ jobs $ no_cache $ log_level))
 
 let () = exit (Cmd.eval cmd)

@@ -15,11 +15,11 @@ let weighted_delay ~model ~tech ~alphas r =
   List.fold_left
     (fun acc (v, d) -> acc +. (alphas.(v - 1) *. d))
     0.0
-    (Delay.Robust.sink_delays_exn ~model ~tech r)
+    (Oracle.Cache.sink_delays ~model ~tech r)
 
-let ldrg ?max_edges ~model ~tech ~alphas initial =
+let ldrg ?pool ?max_edges ~model ~tech ~alphas initial =
   check_alphas alphas initial;
-  Ldrg.run_objective ?max_edges
+  Ldrg.run_objective ?pool ?max_edges
     ~objective:(Oracle.guard (fun r -> weighted_delay ~model ~tech ~alphas r))
     initial
 

@@ -27,6 +27,7 @@ val weighted_delay :
     sink count. *)
 
 val ldrg :
+  ?pool:Pool.t ->
   ?max_edges:int ->
   model:Delay.Model.t ->
   tech:Circuit.Technology.t ->

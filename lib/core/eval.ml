@@ -6,7 +6,7 @@ let measure_result ?policy ~model ~tech r =
   | Error e -> Error e
 
 let measure ~model ~tech r =
-  { delay = Delay.Robust.max_delay_exn ~model ~tech r; cost = Routing.cost r }
+  { delay = Oracle.Cache.max_delay ~model ~tech r; cost = Routing.cost r }
 
 let ratio x ~baseline =
   { delay = x.delay /. baseline.delay; cost = x.cost /. baseline.cost }

@@ -5,6 +5,7 @@ type config = {
   tech : Circuit.Technology.t;
   eval_model : Delay.Model.t;
   search_model : Delay.Model.t;
+  jobs : int;
 }
 
 let default =
@@ -13,7 +14,8 @@ let default =
     sizes = [ 5; 10; 20; 30 ];
     tech = Circuit.Technology.table1;
     eval_model = Delay.Model.Spice Delay.Model.fast_spice;
-    search_model = Delay.Model.Spice Delay.Model.fast_spice }
+    search_model = Delay.Model.Spice Delay.Model.fast_spice;
+    jobs = 1 }
 
 let accurate =
   { default with eval_model = Delay.Model.Spice Delay.Model.accurate_spice }

@@ -13,6 +13,11 @@ type config = {
   tech : Circuit.Technology.t;
   eval_model : Delay.Model.t;  (** model used to *report* delay *)
   search_model : Delay.Model.t;  (** oracle driving greedy searches *)
+  jobs : int;
+      (** worker domains for net fan-out and candidate scoring; 1
+          (the default) runs the untouched sequential path. Table
+          contents are identical for any value — only wall time
+          changes. *)
 }
 
 val default : config

@@ -10,7 +10,7 @@ let h1 ?(max_iterations = max_int) ~model ~tech initial =
   let evaluations = ref 0 in
   let sink_delays r =
     incr evaluations;
-    Delay.Robust.sink_delays_exn ~model ~tech r
+    Oracle.Cache.sink_delays ~model ~tech r
   in
   let max_of delays =
     List.fold_left (fun acc (_, d) -> Float.max acc d) 0.0 delays

@@ -13,25 +13,36 @@ type trace = {
   evaluations : int;
 }
 
-let run_objective ?(max_edges = max_int) ?(min_improvement = 1e-9)
-    ?(candidates = Routing.candidate_edges) ~objective initial =
-  let evaluations = ref 0 in
+let run_objective ?(pool = Pool.sequential) ?(max_edges = max_int)
+    ?(min_improvement = 1e-9) ?(candidates = Routing.candidate_edges)
+    ~objective initial =
+  let evaluations = Atomic.make 0 in
   let eval r =
-    incr evaluations;
+    Atomic.incr evaluations;
     objective r
   in
   let rec loop current current_obj steps added =
     if added >= max_edges then (current, steps)
     else begin
+      (* Candidates of one iteration are scored independently (in
+         parallel under [pool]); the fold below then selects the
+         minimum keeping the *earliest* candidate on ties, so the
+         winner — and hence the whole trace — is the one the original
+         sequential fold picked, for any worker count. *)
+      let scored =
+        Pool.map pool
+          (fun (u, v) ->
+            let trial = Routing.add_edge current u v in
+            ((u, v), trial, eval trial))
+          (candidates current)
+      in
       let best =
         List.fold_left
-          (fun best (u, v) ->
-            let trial = Routing.add_edge current u v in
-            let obj = eval trial in
+          (fun best ((_, _, obj) as cand) ->
             match best with
             | Some (_, _, obj') when obj' <= obj -> best
-            | _ -> Some ((u, v), trial, obj))
-          None (candidates current)
+            | _ -> Some cand)
+          None scored
       in
       match best with
       | Some (edge, trial, obj)
@@ -49,14 +60,15 @@ let run_objective ?(max_edges = max_int) ?(min_improvement = 1e-9)
   in
   let initial_obj = eval initial in
   let final, steps = loop initial initial_obj [] 0 in
-  { initial; final; steps = List.rev steps; evaluations = !evaluations }
+  { initial; final; steps = List.rev steps;
+    evaluations = Atomic.get evaluations }
 
-let run ?max_edges ?candidates ~model ~tech initial =
-  run_objective ?max_edges ?candidates
+let run ?pool ?max_edges ?candidates ~model ~tech initial =
+  run_objective ?pool ?max_edges ?candidates
     ~objective:(Oracle.objective ~model ~tech)
     initial
 
-let run_budgeted ?max_edges ~max_cost_ratio ~model ~tech initial =
+let run_budgeted ?pool ?max_edges ~max_cost_ratio ~model ~tech initial =
   if max_cost_ratio < 1.0 then
     invalid_arg "Ldrg.run_budgeted: max_cost_ratio < 1";
   let budget = max_cost_ratio *. Routing.cost initial in
@@ -67,7 +79,7 @@ let run_budgeted ?max_edges ~max_cost_ratio ~model ~tech initial =
         Geom.Point.manhattan (Routing.point r u) (Routing.point r v) <= slack)
       (Routing.candidate_edges r)
   in
-  run_objective ?max_edges ~candidates
+  run_objective ?pool ?max_edges ~candidates
     ~objective:(Oracle.objective ~model ~tech)
     initial
 

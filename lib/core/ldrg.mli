@@ -30,6 +30,7 @@ type trace = {
 }
 
 val run_objective :
+  ?pool:Pool.t ->
   ?max_edges:int ->
   ?min_improvement:float ->
   ?candidates:(Routing.t -> (int * int) list) ->
@@ -40,9 +41,17 @@ val run_objective :
     number of additions (default: unlimited); [min_improvement] is the
     relative improvement an addition must achieve to be taken (default
     1e-9, guarding against float noise); [candidates] defaults to
-    {!Routing.candidate_edges} — every absent vertex pair. *)
+    {!Routing.candidate_edges} — every absent vertex pair.
+
+    [pool] (default {!Pool.sequential}) scores the candidate edges of
+    each iteration concurrently. The selection is deterministic for any
+    worker count: results come back in candidate order and ties keep
+    the earliest candidate, so the trace equals the sequential one.
+    The [objective] must therefore be safe to call from several domains
+    at once — the {!Oracle} objectives are. *)
 
 val run :
+  ?pool:Pool.t ->
   ?max_edges:int ->
   ?candidates:(Routing.t -> (int * int) list) ->
   model:Delay.Model.t ->
@@ -53,6 +62,7 @@ val run :
     source→sink delay. *)
 
 val run_budgeted :
+  ?pool:Pool.t ->
   ?max_edges:int ->
   max_cost_ratio:float ->
   model:Delay.Model.t ->

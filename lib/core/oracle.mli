@@ -21,9 +21,65 @@ val guard : (Routing.t -> float) -> Routing.t -> float
     {!Nontree_error.Error}: the first evaluation re-raises (baseline
     semantics), later evaluations log, count a dropped evaluation and
     return [infinity] (candidate semantics). The guard is stateful —
-    build a fresh one per greedy loop. *)
+    build a fresh one per greedy loop — and domain-safe: the
+    first-evaluation flag is claimed with an atomic exchange, so under
+    [--jobs > 1] exactly one evaluation gets baseline semantics. *)
+
+(** Memo layer over the fault-tolerant oracle.
+
+    The greedy loops re-evaluate identical routings constantly: the
+    per-iteration tables re-run LDRG per iteration bound from scratch,
+    [iteration_samples] replays prefixes of one trace, and CSORG probes
+    overlapping edge sets. The cache keys on everything the oracle
+    result depends on — delay model (including its SPICE configuration),
+    technology constants, vertex geometry, and the edge set with widths
+    — rendered exactly (floats as [%h] hex) and digested. A hit returns
+    the previously computed sink delays bit-identically, so cached and
+    uncached runs print the same bytes.
+
+    Disabled by default (library semantics unchanged); the binaries
+    enable it unless [--no-cache] is given. Failed evaluations are never
+    cached, so retry behaviour under fault injection is unaffected. All
+    state is domain-safe: the table is mutex-protected and the counters
+    are atomics. *)
+module Cache : sig
+  type stats = { hits : int; misses : int; entries : int }
+
+  val set_enabled : bool -> unit
+  val enabled : unit -> bool
+
+  val set_capacity : int -> unit
+  (** Maximum number of entries retained (default 200_000); once full,
+      new results are computed but not stored. *)
+
+  val reset : unit -> unit
+  (** Drop all entries and zero the hit/miss counters. *)
+
+  val stats : unit -> stats
+
+  val summary : unit -> string option
+  (** One human-readable line ("oracle cache: H hits, M misses ...") or
+      [None] when the cache saw no traffic — printed by the binaries
+      next to the robustness summary. *)
+
+  val sink_delays :
+    model:Delay.Model.t ->
+    tech:Circuit.Technology.t ->
+    Routing.t ->
+    (int * float) list
+  (** Memoised {!Delay.Robust.sink_delays_exn} (identity when the cache
+      is disabled).
+      @raise Nontree_error.Error as the underlying oracle does. *)
+
+  val max_delay :
+    model:Delay.Model.t -> tech:Circuit.Technology.t -> Routing.t -> float
+  (** Maximum sink delay via {!sink_delays} — the objective of the
+      greedy loops.
+      @raise Nontree_error.Error as the underlying oracle does. *)
+end
 
 val objective :
   model:Delay.Model.t -> tech:Circuit.Technology.t -> Routing.t -> float
 (** [objective ~model ~tech] is a fresh guarded max-delay objective
-    running on the fault-tolerant {!Delay.Robust} path. *)
+    running on the fault-tolerant {!Delay.Robust} path, through
+    {!Cache} when it is enabled. *)

@@ -1,4 +1,4 @@
 let initial_tree net = Steiner.Iterated_1steiner.construct net
 
-let run ?max_edges ~model ~tech net =
-  Ldrg.run ?max_edges ~model ~tech (initial_tree net)
+let run ?pool ?max_edges ~model ~tech net =
+  Ldrg.run ?pool ?max_edges ~model ~tech (initial_tree net)

@@ -8,6 +8,7 @@ val initial_tree : Geom.Net.t -> Routing.t
 (** Step 1 of the algorithm: the Iterated 1-Steiner tree over the net. *)
 
 val run :
+  ?pool:Pool.t ->
   ?max_edges:int ->
   model:Delay.Model.t ->
   tech:Circuit.Technology.t ->

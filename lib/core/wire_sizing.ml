@@ -46,5 +46,5 @@ let size_greedy ?(widths = [ 1.0; 2.0; 3.0 ]) ?(max_changes = max_int) ~model
 
 let merge_parallel_delay ~model ~tech r (u, v) =
   let current = Routing.width r u v in
-  Delay.Robust.max_delay_exn ~model ~tech
+  Oracle.Cache.max_delay ~model ~tech
     (Routing.set_width r u v (2.0 *. current))

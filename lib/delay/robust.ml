@@ -57,10 +57,21 @@ let count_fallback = function
   | Model.Elmore_tree -> Nontree_error.Counters.incr_elmore_fallbacks ()
   | _ -> Nontree_error.Counters.incr_moment_fallbacks ()
 
+(* Process-wide tally of robust oracle evaluations — the denominator
+   the bench harness reports next to cache hit rates. *)
+let evaluation_counter = Atomic.make 0
+
+let evaluation_count () = Atomic.get evaluation_counter
+let reset_evaluation_count () = Atomic.set evaluation_counter 0
+
 let sink_delays ?(policy = default_policy) ~model ~tech r =
   if policy.max_attempts < 1 then
     invalid_arg "Robust.sink_delays: max_attempts must be >= 1";
-  let injected_before = Nontree_error.Counters.faults_injected () in
+  Atomic.incr evaluation_counter;
+  (* Domain-local window: an evaluation runs on one domain, so this
+     counts exactly the faults injected into *this* evaluation even
+     while other domains inject concurrently. *)
+  let injected_before = Nontree_error.Counters.faults_injected_local () in
   let rec attempt n =
     let scale = float_of_int (1 lsl (n - 1)) in
     match
@@ -100,7 +111,7 @@ let sink_delays ?(policy = default_policy) ~model ~tech r =
   (match result with
   | Ok _ ->
       let survived =
-        Nontree_error.Counters.faults_injected () - injected_before
+        Nontree_error.Counters.faults_injected_local () - injected_before
       in
       if survived > 0 then Nontree_error.Counters.add_faults_survived survived
   | Error e ->

@@ -35,50 +35,65 @@ module Counters = struct
     oracle_errors : int;
   }
 
-  let retries = ref 0
-  let moment_fallbacks = ref 0
-  let elmore_fallbacks = ref 0
-  let faults_injected' = ref 0
-  let faults_survived = ref 0
-  let dropped_evaluations = ref 0
-  let dropped_nets = ref 0
-  let oracle_errors = ref 0
+  (* Atomics, not plain refs: the counters are bumped from worker
+     domains when the Pool-based evaluation layer is active, and the
+     robustness summary must stay exact under --jobs > 1. *)
+  let retries = Atomic.make 0
+  let moment_fallbacks = Atomic.make 0
+  let elmore_fallbacks = Atomic.make 0
+  let faults_injected' = Atomic.make 0
+  let faults_survived = Atomic.make 0
+  let dropped_evaluations = Atomic.make 0
+  let dropped_nets = Atomic.make 0
+  let oracle_errors = Atomic.make 0
 
   let all =
     [ retries; moment_fallbacks; elmore_fallbacks; faults_injected';
       faults_survived; dropped_evaluations; dropped_nets; oracle_errors ]
 
-  let reset () = List.iter (fun r -> r := 0) all
-  let any () = List.exists (fun r -> !r <> 0) all
+  let reset () = List.iter (fun r -> Atomic.set r 0) all
+  let any () = List.exists (fun r -> Atomic.get r <> 0) all
 
   let snapshot () =
-    { retries = !retries;
-      moment_fallbacks = !moment_fallbacks;
-      elmore_fallbacks = !elmore_fallbacks;
-      faults_injected = !faults_injected';
-      faults_survived = !faults_survived;
-      dropped_evaluations = !dropped_evaluations;
-      dropped_nets = !dropped_nets;
-      oracle_errors = !oracle_errors }
+    { retries = Atomic.get retries;
+      moment_fallbacks = Atomic.get moment_fallbacks;
+      elmore_fallbacks = Atomic.get elmore_fallbacks;
+      faults_injected = Atomic.get faults_injected';
+      faults_survived = Atomic.get faults_survived;
+      dropped_evaluations = Atomic.get dropped_evaluations;
+      dropped_nets = Atomic.get dropped_nets;
+      oracle_errors = Atomic.get oracle_errors }
 
-  let incr_retries () = incr retries
-  let incr_moment_fallbacks () = incr moment_fallbacks
-  let incr_elmore_fallbacks () = incr elmore_fallbacks
-  let incr_faults_injected () = incr faults_injected'
-  let add_faults_survived n = faults_survived := !faults_survived + n
-  let incr_dropped_evaluations () = incr dropped_evaluations
-  let incr_dropped_nets () = incr dropped_nets
-  let incr_oracle_errors () = incr oracle_errors
+  (* One evaluation runs entirely on one domain, so a domain-local
+     tally lets Delay.Robust measure the faults injected into *its
+     own* evaluation window exactly, even while other domains inject
+     concurrently (the global counter alone cannot distinguish them). *)
+  let injected_local = Domain.DLS.new_key (fun () -> ref 0)
 
-  let faults_injected () = !faults_injected'
+  let incr_retries () = Atomic.incr retries
+  let incr_moment_fallbacks () = Atomic.incr moment_fallbacks
+  let incr_elmore_fallbacks () = Atomic.incr elmore_fallbacks
+
+  let incr_faults_injected () =
+    Atomic.incr faults_injected';
+    incr (Domain.DLS.get injected_local)
+
+  let add_faults_survived n = ignore (Atomic.fetch_and_add faults_survived n)
+  let incr_dropped_evaluations () = Atomic.incr dropped_evaluations
+  let incr_dropped_nets () = Atomic.incr dropped_nets
+  let incr_oracle_errors () = Atomic.incr oracle_errors
+
+  let faults_injected () = Atomic.get faults_injected'
+  let faults_injected_local () = !(Domain.DLS.get injected_local)
 
   let summary () =
+    let s = snapshot () in
     Printf.sprintf
       "robustness: %d retries, %d fallbacks (%d moment, %d elmore), %d \
        faults injected, %d survived, %d evals dropped, %d nets dropped, %d \
        oracle errors"
-      !retries
-      (!moment_fallbacks + !elmore_fallbacks)
-      !moment_fallbacks !elmore_fallbacks !faults_injected' !faults_survived
-      !dropped_evaluations !dropped_nets !oracle_errors
+      s.retries
+      (s.moment_fallbacks + s.elmore_fallbacks)
+      s.moment_fallbacks s.elmore_fallbacks s.faults_injected
+      s.faults_survived s.dropped_evaluations s.dropped_nets s.oracle_errors
 end

@@ -50,7 +50,9 @@ val protect : (unit -> 'a) -> ('a, t) result
 
     Global (per-process) tallies of every fault-handling event; reset
     at the start of a run and surfaced by [bin/tables] / the harness as
-    a one-line summary. *)
+    a one-line summary. All counters are atomic, so increments from
+    worker domains (the [--jobs] evaluation layer) are never lost and
+    the summary stays exact under parallel runs. *)
 module Counters : sig
   type snapshot = {
     retries : int;  (** refined re-runs of a failed oracle evaluation *)
@@ -79,6 +81,13 @@ module Counters : sig
   val incr_oracle_errors : unit -> unit
 
   val faults_injected : unit -> int
+  (** Process-wide injected-fault total (all domains). *)
+
+  val faults_injected_local : unit -> int
+  (** Injected-fault tally of the *calling domain* only. An oracle
+      evaluation runs entirely on one domain, so reading this before
+      and after gives the exact number of faults injected into that
+      evaluation even while other domains inject concurrently. *)
 
   val summary : unit -> string
   (** One line, e.g.

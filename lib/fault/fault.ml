@@ -10,9 +10,19 @@ type mode =
     }
   | Scripted of kind option list ref
 
+(* The schedule state (RNG position, scripted queue) is shared by every
+   domain of the Pool evaluation layer; the mutex keeps draws atomic so
+   a parallel run consumes the schedule without losing or duplicating
+   entries. Mode changes happen between runs, on the main domain. *)
+let lock = Mutex.create ()
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
 let mode = ref Off
 
-let disable () = mode := Off
+let disable () = with_lock (fun () -> mode := Off)
 
 let check_p name p =
   if p < 0.0 || p > 1.0 || not (Float.is_finite p) then
@@ -24,15 +34,16 @@ let enable ?(p_singular = 0.0) ?(p_nan = 0.0) ?(p_stall = 0.0) ~seed () =
   check_p "p_stall" p_stall;
   if p_singular +. p_nan +. p_stall > 1.0 then
     invalid_arg "Fault.enable: probabilities sum past 1";
-  mode := Probabilistic { rng = Rng.create seed; p_singular; p_nan; p_stall }
+  with_lock (fun () ->
+      mode := Probabilistic { rng = Rng.create seed; p_singular; p_nan; p_stall })
 
 let enable_uniform ~rate ~seed =
   let p = rate /. 3.0 in
   enable ~p_singular:p ~p_nan:p ~p_stall:p ~seed ()
 
-let script kinds = mode := Scripted (ref kinds)
+let script kinds = with_lock (fun () -> mode := Scripted (ref kinds))
 
-let active () = !mode <> Off
+let active () = with_lock (fun () -> !mode <> Off)
 
 let record = function
   | Some _ as k ->
@@ -41,18 +52,26 @@ let record = function
   | None -> None
 
 let draw ~stage:_ =
+  (* Unsynchronised fast path: [mode] is only written between runs, so
+     observing [Off] without the lock is safe and keeps the hot path
+     lock-free when injection is disabled. *)
   match !mode with
   | Off -> None
-  | Probabilistic { rng; p_singular; p_nan; p_stall } ->
-      let u = Rng.float rng 1.0 in
+  | Probabilistic _ | Scripted _ ->
       record
-        (if u < p_singular then Some Singular_stamp
-         else if u < p_singular +. p_nan then Some Nan_value
-         else if u < p_singular +. p_nan +. p_stall then Some Never_settles
-         else None)
-  | Scripted queue -> (
-      match !queue with
-      | [] -> None
-      | k :: rest ->
-          queue := rest;
-          record k)
+        (with_lock (fun () ->
+             match !mode with
+             | Off -> None
+             | Probabilistic { rng; p_singular; p_nan; p_stall } ->
+                 let u = Rng.float rng 1.0 in
+                 if u < p_singular then Some Singular_stamp
+                 else if u < p_singular +. p_nan then Some Nan_value
+                 else if u < p_singular +. p_nan +. p_stall then
+                   Some Never_settles
+                 else None
+             | Scripted queue -> (
+                 match !queue with
+                 | [] -> None
+                 | k :: rest ->
+                     queue := rest;
+                     k)))

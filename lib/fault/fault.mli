@@ -10,7 +10,11 @@
 
     Injection is process-global, off by default, and — in probabilistic
     mode — keyed by the repository's splitmix64 RNG, so a given
-    [(seed, rate)] pair reproduces the same fault schedule every run. *)
+    [(seed, rate)] pair reproduces the same fault schedule every run.
+    The schedule state is mutex-protected: concurrent draws from
+    worker domains (the [--jobs] evaluation layer) consume it without
+    losing or duplicating entries, though the *assignment* of schedule
+    entries to evaluations then depends on domain interleaving. *)
 
 type kind =
   | Singular_stamp  (** behave as if LU factorisation found no pivot *)

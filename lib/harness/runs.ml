@@ -21,6 +21,22 @@ let robustness_summary () =
     Some (Nontree_error.Counters.summary ())
   else None
 
+(* Every table/figure/extension entry point opens one pool sized by the
+   config and fans the per-net work out over it; nested Pool.map calls
+   (candidate scoring inside Ldrg.run) share the same workers. With
+   [jobs = 1] the pool is a plain List.map and the sequential code path
+   is untouched. *)
+let with_pool config f =
+  Pool.with_pool ~jobs:config.Nontree.Experiment.jobs f
+
+(* Fan [f] over the nets, in net order, dropping failed nets. Results
+   come back in submission order, so aggregation (and float summation)
+   order matches the sequential run for any worker count. *)
+let map_nets pool ~what f nets =
+  List.filter_map Fun.id
+    (Pool.map pool (fun net -> protect_net ~what (fun () -> f net))
+       (Array.to_list nets))
+
 let measure config r =
   Nontree.Eval.measure ~model:config.Nontree.Experiment.eval_model
     ~tech:config.Nontree.Experiment.tech r
@@ -62,20 +78,20 @@ let iteration_rows ~iterations ~labels traces =
       (List.nth labels i, row))
 
 let per_iteration_table config ~iterations ~labels ~algorithm =
-  List.concat_map
-    (fun size ->
-      let nets = Nontree.Experiment.nets config ~size in
-      let traces =
-        List.filter_map
-          (fun net ->
-            protect_net ~what:(Printf.sprintf "size %d" size) (fun () ->
-                iteration_samples config ~iterations (algorithm net)))
-          (Array.to_list nets)
-      in
-      List.map
-        (fun (label, row) -> { Table.label; size; row })
-        (iteration_rows ~iterations ~labels traces))
-    config.Nontree.Experiment.sizes
+  with_pool config (fun pool ->
+      List.concat_map
+        (fun size ->
+          let nets = Nontree.Experiment.nets config ~size in
+          let traces =
+            map_nets pool ~what:(Printf.sprintf "size %d" size)
+              (fun net ->
+                iteration_samples config ~iterations (algorithm pool net))
+              nets
+          in
+          List.map
+            (fun (label, row) -> { Table.label; size; row })
+            (iteration_rows ~iterations ~labels traces))
+        config.Nontree.Experiment.sizes)
   (* Group rows so each iteration block lists every size. *)
   |> List.stable_sort (fun a b ->
          compare
@@ -85,22 +101,23 @@ let per_iteration_table config ~iterations ~labels ~algorithm =
               (List.mapi (fun i l -> (l, i)) labels)))
 
 let simple_table config ~algorithm =
-  List.map
-    (fun size ->
-      let nets = Nontree.Experiment.nets config ~size in
-      let samples =
-        List.filter_map
-          (fun net ->
-            protect_net ~what:(Printf.sprintf "size %d" size) (fun () ->
-                let baseline, routing = algorithm net in
-                sample_pair config ~baseline ~routing))
-          (Array.to_list nets)
-      in
-      let row =
-        if samples = [] then None else Some (Nontree.Stats.summarize samples)
-      in
-      { Table.label = ""; size; row })
-    config.Nontree.Experiment.sizes
+  with_pool config (fun pool ->
+      List.map
+        (fun size ->
+          let nets = Nontree.Experiment.nets config ~size in
+          let samples =
+            map_nets pool ~what:(Printf.sprintf "size %d" size)
+              (fun net ->
+                let baseline, routing = algorithm pool net in
+                sample_pair config ~baseline ~routing)
+              nets
+          in
+          let row =
+            if samples = [] then None
+            else Some (Nontree.Stats.summarize samples)
+          in
+          { Table.label = ""; size; row })
+        config.Nontree.Experiment.sizes)
 
 (* Tables --------------------------------------------------------------- *)
 
@@ -109,15 +126,15 @@ let iteration_labels = [ "Iteration One"; "Iteration Two"; "Iteration Three" ]
 let table2 ?(iterations = 2) config =
   per_iteration_table config ~iterations
     ~labels:iteration_labels
-    ~algorithm:(fun net ->
-      Nontree.Ldrg.run ~model:config.Nontree.Experiment.search_model
+    ~algorithm:(fun pool net ->
+      Nontree.Ldrg.run ~pool ~model:config.Nontree.Experiment.search_model
         ~tech:config.Nontree.Experiment.tech
         (Routing.mst_of_net net))
 
 let table3 config =
-  simple_table config ~algorithm:(fun net ->
+  simple_table config ~algorithm:(fun pool net ->
       let trace =
-        Nontree.Sldrg.run ~model:config.Nontree.Experiment.search_model
+        Nontree.Sldrg.run ~pool ~model:config.Nontree.Experiment.search_model
           ~tech:config.Nontree.Experiment.tech net
       in
       (trace.Nontree.Ldrg.initial, trace.Nontree.Ldrg.final))
@@ -125,14 +142,17 @@ let table3 config =
 let table4 ?(iterations = 2) config =
   per_iteration_table config ~iterations
     ~labels:iteration_labels
-    ~algorithm:(fun net ->
+    ~algorithm:(fun _pool net ->
+      (* H1 adds at most one predetermined edge per iteration — nothing
+         to score in parallel; its speedup comes from the per-net
+         fan-out and the oracle cache. *)
       Nontree.Heuristics.h1 ~model:config.Nontree.Experiment.search_model
         ~tech:config.Nontree.Experiment.tech
         (Routing.mst_of_net net))
 
 let table5 config =
   let run h =
-    simple_table config ~algorithm:(fun net ->
+    simple_table config ~algorithm:(fun _pool net ->
         let mst = Routing.mst_of_net net in
         let routed, _ = h ~tech:config.Nontree.Experiment.tech mst in
         (mst, routed))
@@ -140,15 +160,15 @@ let table5 config =
   (run Nontree.Heuristics.h2, run Nontree.Heuristics.h3)
 
 let table6 config =
-  simple_table config ~algorithm:(fun net ->
+  simple_table config ~algorithm:(fun _pool net ->
       ( Routing.mst_of_net net,
         Ert.construct ~tech:config.Nontree.Experiment.tech net ))
 
 let table7 config =
-  simple_table config ~algorithm:(fun net ->
+  simple_table config ~algorithm:(fun pool net ->
       let ert = Ert.construct ~tech:config.Nontree.Experiment.tech net in
       let trace =
-        Nontree.Ldrg.run ~model:config.Nontree.Experiment.search_model
+        Nontree.Ldrg.run ~pool ~model:config.Nontree.Experiment.search_model
           ~tech:config.Nontree.Experiment.tech ert
       in
       (ert, trace.Nontree.Ldrg.final))
@@ -195,26 +215,38 @@ let figure_of_trace config ~id ~description (trace : Nontree.Ldrg.trace) =
 (* Deterministic search over the config's net stream for the most
    figure-worthy instance. *)
 let search_nets config ~size ~scan ~score =
-  let nets = Nontree.Experiment.nets { config with trials = scan } ~size in
-  let best = ref None in
-  Array.iter
-    (fun net ->
-      match protect_net ~what:"figure search" (fun () -> score net) with
-      | None | Some None -> ()
-      | Some (Some (s, payload)) -> (
-          match !best with
-          | Some (s', _) when s' <= s -> ()
-          | _ -> best := Some (s, payload)))
-    nets;
-  match !best with
-  | Some (_, payload) -> payload
-  | None -> failwith "Runs: figure search found no instance"
+  with_pool config (fun pool ->
+      let nets =
+        Nontree.Experiment.nets { config with trials = scan } ~size
+      in
+      (* Score every net (in parallel), then pick the winner with the
+         same earliest-on-ties fold the sequential scan used. *)
+      let scored =
+        Pool.map pool
+          (fun net ->
+            protect_net ~what:"figure search" (fun () -> score pool net))
+          (Array.to_list nets)
+      in
+      let best =
+        List.fold_left
+          (fun best result ->
+            match result with
+            | None | Some None -> best
+            | Some (Some (s, payload)) -> (
+                match best with
+                | Some (s', _) when s' <= s -> best
+                | _ -> Some (s, payload)))
+          None scored
+      in
+      match best with
+      | Some (_, payload) -> payload
+      | None -> failwith "Runs: figure search found no instance")
 
 let single_edge_figure config ~id ~size ~scan ~description =
-  search_nets config ~size ~scan ~score:(fun net ->
+  search_nets config ~size ~scan ~score:(fun pool net ->
       let mst = Routing.mst_of_net net in
       let trace =
-        Nontree.Ldrg.run ~max_edges:1
+        Nontree.Ldrg.run ~pool ~max_edges:1
           ~model:config.Nontree.Experiment.search_model
           ~tech:config.Nontree.Experiment.tech mst
       in
@@ -241,10 +273,10 @@ let figure2 config =
        reduces SPICE delay"
 
 let figure3 config =
-  search_nets config ~size:10 ~scan:20 ~score:(fun net ->
+  search_nets config ~size:10 ~scan:20 ~score:(fun pool net ->
       let mst = Routing.mst_of_net net in
       let trace =
-        Nontree.Ldrg.run ~model:config.Nontree.Experiment.search_model
+        Nontree.Ldrg.run ~pool ~model:config.Nontree.Experiment.search_model
           ~tech:config.Nontree.Experiment.tech mst
       in
       if List.length trace.Nontree.Ldrg.steps < 2 then None
@@ -264,9 +296,9 @@ let figure3 config =
       end)
 
 let figure5 config =
-  search_nets config ~size:10 ~scan:12 ~score:(fun net ->
+  search_nets config ~size:10 ~scan:12 ~score:(fun pool net ->
       let trace =
-        Nontree.Sldrg.run ~model:config.Nontree.Experiment.search_model
+        Nontree.Sldrg.run ~pool ~model:config.Nontree.Experiment.search_model
           ~tech:config.Nontree.Experiment.tech net
       in
       match trace.Nontree.Ldrg.steps with
@@ -326,7 +358,16 @@ let save_figure_svgs ~dir f =
 
 let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
 
+(* [mean] of an empty list is 0/0 = nan; when fault injection drops
+   every net of an extension experiment, say so instead of printing
+   "nan". [%.*f] renders non-empty means byte-identically to the
+   inline [%.Nf] formats these reports used. *)
+let mean_fmt ?(decimals = 3) l =
+  if l = [] then "n/a (all nets dropped)"
+  else Printf.sprintf "%.*f" decimals (mean l)
+
 let ext_csorg config =
+  with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let size = 10 in
   let nets = Nontree.Experiment.nets config ~size in
@@ -338,46 +379,57 @@ let ext_csorg config =
   let ratios_ldrg = ref [] and ratios_cs = ref [] and ratios_ert = ref [] in
   let ratios_sert = ref [] in
   let cost_cs = ref [] in
-  Array.iter
-    (fun net ->
-      (* The critical sink: farthest pin from the source. *)
-      let src = Geom.Net.source net in
-      let critical = ref 1 in
-      for v = 2 to Geom.Net.num_sinks net do
-        if
-          Geom.Point.manhattan src (Geom.Net.pin net v)
-          > Geom.Point.manhattan src (Geom.Net.pin net !critical)
-        then critical := v
-      done;
-      let critical = !critical in
-      let alphas = Nontree.Critical_sink.one_hot net ~critical in
-      let mst = Routing.mst_of_net net in
-      let base = spice_sink_delay mst critical in
-      let ldrg = (Nontree.Ldrg.run ~model:search ~tech mst).Nontree.Ldrg.final in
-      let cs =
-        (Nontree.Critical_sink.ldrg ~model:search ~tech ~alphas mst)
-          .Nontree.Ldrg.final
-      in
-      let ert_w = Nontree.Critical_sink.ert_seed ~tech ~alphas net in
-      let sert = Ert.construct_critical ~tech ~critical net in
-      ratios_ldrg := (spice_sink_delay ldrg critical /. base) :: !ratios_ldrg;
-      ratios_cs := (spice_sink_delay cs critical /. base) :: !ratios_cs;
-      ratios_ert := (spice_sink_delay ert_w critical /. base) :: !ratios_ert;
-      ratios_sert := (spice_sink_delay sert critical /. base) :: !ratios_sert;
-      cost_cs := (Routing.cost cs /. Routing.cost mst) :: !cost_cs)
-    nets;
+  List.iter
+    (fun (rl, rc, re, rs, cc) ->
+      ratios_ldrg := rl :: !ratios_ldrg;
+      ratios_cs := rc :: !ratios_cs;
+      ratios_ert := re :: !ratios_ert;
+      ratios_sert := rs :: !ratios_sert;
+      cost_cs := cc :: !cost_cs)
+    (map_nets pool ~what:"ext csorg"
+       (fun net ->
+         (* The critical sink: farthest pin from the source. *)
+         let src = Geom.Net.source net in
+         let critical = ref 1 in
+         for v = 2 to Geom.Net.num_sinks net do
+           if
+             Geom.Point.manhattan src (Geom.Net.pin net v)
+             > Geom.Point.manhattan src (Geom.Net.pin net !critical)
+           then critical := v
+         done;
+         let critical = !critical in
+         let alphas = Nontree.Critical_sink.one_hot net ~critical in
+         let mst = Routing.mst_of_net net in
+         let base = spice_sink_delay mst critical in
+         let ldrg =
+           (Nontree.Ldrg.run ~pool ~model:search ~tech mst).Nontree.Ldrg.final
+         in
+         let cs =
+           (Nontree.Critical_sink.ldrg ~pool ~model:search ~tech ~alphas mst)
+             .Nontree.Ldrg.final
+         in
+         let ert_w = Nontree.Critical_sink.ert_seed ~tech ~alphas net in
+         let sert = Ert.construct_critical ~tech ~critical net in
+         ( spice_sink_delay ldrg critical /. base,
+           spice_sink_delay cs critical /. base,
+           spice_sink_delay ert_w critical /. base,
+           spice_sink_delay sert critical /. base,
+           Routing.cost cs /. Routing.cost mst ))
+       nets);
   Printf.sprintf
     "Extension X1 -- CSORG, critical-sink routing (Section 5.1)\n\
     \  %d nets of %d pins; criticality one-hot on the farthest sink;\n\
     \  values are that sink's SPICE delay normalised to the MST.\n\
-    \    plain LDRG (max objective)   : %.3f\n\
-    \    critical-sink LDRG           : %.3f   (cost ratio %.2f)\n\
-    \    criticality-weighted ERT     : %.3f\n\
-    \    SERT-C (direct first wire)   : %.3f\n"
-    (Array.length nets) size (mean !ratios_ldrg) (mean !ratios_cs)
-    (mean !cost_cs) (mean !ratios_ert) (mean !ratios_sert)
+    \    plain LDRG (max objective)   : %s\n\
+    \    critical-sink LDRG           : %s   (cost ratio %s)\n\
+    \    criticality-weighted ERT     : %s\n\
+    \    SERT-C (direct first wire)   : %s\n"
+    (Array.length nets) size (mean_fmt !ratios_ldrg) (mean_fmt !ratios_cs)
+    (mean_fmt ~decimals:2 !cost_cs)
+    (mean_fmt !ratios_ert) (mean_fmt !ratios_sert)
 
 let ext_wsorg config =
+  with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let size = 10 in
   let nets = Nontree.Experiment.nets config ~size in
@@ -385,31 +437,47 @@ let ext_wsorg config =
   let delay r = Delay.Model.max_delay config.Nontree.Experiment.eval_model ~tech r in
   let d_sized = ref [] and d_ldrg = ref [] and d_both = ref [] in
   let a_sized = ref [] and a_both = ref [] in
-  Array.iter
-    (fun net ->
-      let mst = Routing.mst_of_net net in
-      let base_delay = delay mst in
-      let base_len = Routing.cost mst in
-      let sized, _ = Nontree.Wire_sizing.size_greedy ~model:search ~tech mst in
-      let ldrg = (Nontree.Ldrg.run ~model:search ~tech mst).Nontree.Ldrg.final in
-      let both, _ = Nontree.Wire_sizing.size_greedy ~model:search ~tech ldrg in
-      d_sized := (delay sized /. base_delay) :: !d_sized;
-      d_ldrg := (delay ldrg /. base_delay) :: !d_ldrg;
-      d_both := (delay both /. base_delay) :: !d_both;
-      a_sized := (Nontree.Wire_sizing.wire_area sized /. base_len) :: !a_sized;
-      a_both := (Nontree.Wire_sizing.wire_area both /. base_len) :: !a_both)
-    nets;
+  List.iter
+    (fun (ds, dl, db, asz, ab) ->
+      d_sized := ds :: !d_sized;
+      d_ldrg := dl :: !d_ldrg;
+      d_both := db :: !d_both;
+      a_sized := asz :: !a_sized;
+      a_both := ab :: !a_both)
+    (map_nets pool ~what:"ext wsorg"
+       (fun net ->
+         let mst = Routing.mst_of_net net in
+         let base_delay = delay mst in
+         let base_len = Routing.cost mst in
+         let sized, _ =
+           Nontree.Wire_sizing.size_greedy ~model:search ~tech mst
+         in
+         let ldrg =
+           (Nontree.Ldrg.run ~pool ~model:search ~tech mst).Nontree.Ldrg.final
+         in
+         let both, _ =
+           Nontree.Wire_sizing.size_greedy ~model:search ~tech ldrg
+         in
+         ( delay sized /. base_delay,
+           delay ldrg /. base_delay,
+           delay both /. base_delay,
+           Nontree.Wire_sizing.wire_area sized /. base_len,
+           Nontree.Wire_sizing.wire_area both /. base_len ))
+       nets);
   Printf.sprintf
     "Extension X2 -- WSORG, wire sizing (Section 5.2)\n\
     \  %d nets of %d pins; widths in {1,2,3}; SPICE delay vs MST, silicon\n\
     \  area (sum of length x width) vs MST wirelength.\n\
-    \    MST + greedy sizing          : delay %.3f, area %.2f\n\
-    \    LDRG graph                   : delay %.3f\n\
-    \    LDRG + greedy sizing         : delay %.3f, area %.2f\n"
-    (Array.length nets) size (mean !d_sized) (mean !a_sized) (mean !d_ldrg)
-    (mean !d_both) (mean !a_both)
+    \    MST + greedy sizing          : delay %s, area %s\n\
+    \    LDRG graph                   : delay %s\n\
+    \    LDRG + greedy sizing         : delay %s, area %s\n"
+    (Array.length nets) size (mean_fmt !d_sized)
+    (mean_fmt ~decimals:2 !a_sized)
+    (mean_fmt !d_ldrg) (mean_fmt !d_both)
+    (mean_fmt ~decimals:2 !a_both)
 
 let ext_oracle config =
+  with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let oracles =
     [ ("first moment", Delay.Model.First_moment);
@@ -424,22 +492,30 @@ let ext_oracle config =
           List.map
             (fun (name, oracle) ->
               let delays = ref [] and costs = ref [] and evals = ref [] in
-              Array.iter
-                (fun net ->
-                  let mst = Routing.mst_of_net net in
-                  let trace = Nontree.Ldrg.run ~model:oracle ~tech mst in
-                  let s =
-                    sample_pair config ~baseline:mst
-                      ~routing:trace.Nontree.Ldrg.final
-                  in
-                  delays := s.Nontree.Stats.delay_ratio :: !delays;
-                  costs := s.Nontree.Stats.cost_ratio :: !costs;
-                  evals :=
-                    float_of_int trace.Nontree.Ldrg.evaluations :: !evals)
-                nets;
+              List.iter
+                (fun (d, c, e) ->
+                  delays := d :: !delays;
+                  costs := c :: !costs;
+                  evals := e :: !evals)
+                (map_nets pool ~what:"ext oracle"
+                   (fun net ->
+                     let mst = Routing.mst_of_net net in
+                     let trace =
+                       Nontree.Ldrg.run ~pool ~model:oracle ~tech mst
+                     in
+                     let s =
+                       sample_pair config ~baseline:mst
+                         ~routing:trace.Nontree.Ldrg.final
+                     in
+                     ( s.Nontree.Stats.delay_ratio,
+                       s.Nontree.Stats.cost_ratio,
+                       float_of_int trace.Nontree.Ldrg.evaluations ))
+                   nets);
               Printf.sprintf
-                "    %-14s: delay %.3f, cost %.2f, oracle calls %.0f" name
-                (mean !delays) (mean !costs) (mean !evals))
+                "    %-14s: delay %s, cost %s, oracle calls %s" name
+                (mean_fmt !delays)
+                (mean_fmt ~decimals:2 !costs)
+                (mean_fmt ~decimals:0 !evals))
             oracles
         in
         Printf.sprintf "  size %d (%d nets):\n%s" size (Array.length nets)
@@ -451,38 +527,48 @@ let ext_oracle config =
     (String.concat "\n" blocks)
 
 let ext_rlc config =
+  with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let size = 10 in
   let nets = Nontree.Experiment.nets config ~size in
   let rc = Delay.Model.Spice Delay.Model.default_spice in
   let rlc = Delay.Model.Spice Delay.Model.rlc_spice in
   let mst_shift = ref [] and ldrg_shift = ref [] in
-  let agree = ref 0 in
-  Array.iter
-    (fun net ->
-      let mst = Routing.mst_of_net net in
-      let graph =
-        (Nontree.Ldrg.run ~model:config.Nontree.Experiment.search_model ~tech
-           mst)
-          .Nontree.Ldrg.final
-      in
-      let d model r = Delay.Model.max_delay model ~tech r in
-      let mst_rc = d rc mst and mst_rlc = d rlc mst in
-      let g_rc = d rc graph and g_rlc = d rlc graph in
-      mst_shift := (mst_rlc /. mst_rc) :: !mst_shift;
-      ldrg_shift := (g_rlc /. g_rc) :: !ldrg_shift;
-      if g_rc < mst_rc = (g_rlc < mst_rlc) then incr agree)
-    nets;
+  let agree = ref 0 and kept = ref 0 in
+  List.iter
+    (fun (ms, ls, ag) ->
+      mst_shift := ms :: !mst_shift;
+      ldrg_shift := ls :: !ldrg_shift;
+      incr kept;
+      if ag then incr agree)
+    (map_nets pool ~what:"ext rlc"
+       (fun net ->
+         let mst = Routing.mst_of_net net in
+         let graph =
+           (Nontree.Ldrg.run ~pool
+              ~model:config.Nontree.Experiment.search_model ~tech mst)
+             .Nontree.Ldrg.final
+         in
+         let d model r = Delay.Model.max_delay model ~tech r in
+         let mst_rc = d rc mst and mst_rlc = d rlc mst in
+         let g_rc = d rc graph and g_rlc = d rlc graph in
+         ( mst_rlc /. mst_rc,
+           g_rlc /. g_rc,
+           g_rc < mst_rc = (g_rlc < mst_rlc) ))
+       nets);
   Printf.sprintf
     "Extension X4 -- RC vs RLC evaluation (Table 1 inductance, 492 fH/um)\n\
     \  %d nets of %d pins.\n\
-    \    RLC/RC delay ratio, MST topologies  : %.5f\n\
-    \    RLC/RC delay ratio, LDRG topologies : %.5f\n\
+    \    RLC/RC delay ratio, MST topologies  : %s\n\
+    \    RLC/RC delay ratio, LDRG topologies : %s\n\
     \    LDRG-vs-MST winner agreement        : %d/%d nets\n"
-    (Array.length nets) size (mean !mst_shift) (mean !ldrg_shift) !agree
-    (Array.length nets)
+    (Array.length nets) size
+    (mean_fmt ~decimals:5 !mst_shift)
+    (mean_fmt ~decimals:5 !ldrg_shift)
+    !agree !kept
 
 let ext_trees config =
+  with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let size = 10 in
   let nets = Nontree.Experiment.nets config ~size in
@@ -497,30 +583,35 @@ let ext_trees config =
       (fun (name, build) ->
         let seed_delay = ref [] and seed_cost = ref [] in
         let ldrg_gain = ref [] and win = ref 0 in
-        Array.iter
-          (fun net ->
-            let mst = Routing.mst_of_net net in
-            let base = measure config mst in
-            let seed_tree = build net in
-            let sm = measure config seed_tree in
-            let trace =
-              Nontree.Ldrg.run ~model:config.Nontree.Experiment.search_model
-                ~tech seed_tree
-            in
-            let fm = measure config trace.Nontree.Ldrg.final in
-            seed_delay :=
-              (sm.Nontree.Eval.delay /. base.Nontree.Eval.delay) :: !seed_delay;
-            seed_cost :=
-              (sm.Nontree.Eval.cost /. base.Nontree.Eval.cost) :: !seed_cost;
-            ldrg_gain :=
-              (fm.Nontree.Eval.delay /. sm.Nontree.Eval.delay) :: !ldrg_gain;
-            if fm.Nontree.Eval.delay < sm.Nontree.Eval.delay *. (1.0 -. 1e-9)
-            then incr win)
-          nets;
+        List.iter
+          (fun (sd, sc, lg, w) ->
+            seed_delay := sd :: !seed_delay;
+            seed_cost := sc :: !seed_cost;
+            ldrg_gain := lg :: !ldrg_gain;
+            if w then incr win)
+          (map_nets pool ~what:"ext trees"
+             (fun net ->
+               let mst = Routing.mst_of_net net in
+               let base = measure config mst in
+               let seed_tree = build net in
+               let sm = measure config seed_tree in
+               let trace =
+                 Nontree.Ldrg.run ~pool
+                   ~model:config.Nontree.Experiment.search_model ~tech
+                   seed_tree
+               in
+               let fm = measure config trace.Nontree.Ldrg.final in
+               ( sm.Nontree.Eval.delay /. base.Nontree.Eval.delay,
+                 sm.Nontree.Eval.cost /. base.Nontree.Eval.cost,
+                 fm.Nontree.Eval.delay /. sm.Nontree.Eval.delay,
+                 fm.Nontree.Eval.delay
+                 < sm.Nontree.Eval.delay *. (1.0 -. 1e-9) ))
+             nets);
         Printf.sprintf
-          "    %-15s delay %.3f cost %.2f (vs MST) | LDRG on it: x%.3f delay, wins %d/%d"
-          name (mean !seed_delay) (mean !seed_cost) (mean !ldrg_gain) !win
-          (Array.length nets))
+          "    %-15s delay %s cost %s (vs MST) | LDRG on it: x%s delay, wins %d/%d"
+          name (mean_fmt !seed_delay)
+          (mean_fmt ~decimals:2 !seed_cost)
+          (mean_fmt !ldrg_gain) !win (Array.length nets))
       seeds
   in
   Printf.sprintf
@@ -529,6 +620,7 @@ let ext_trees config =
     (String.concat "\n" lines)
 
 let ext_budget config =
+  with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let size = 10 in
   let nets = Nontree.Experiment.nets config ~size in
@@ -537,27 +629,30 @@ let ext_budget config =
     List.map
       (fun budget ->
         let delays = ref [] and costs = ref [] in
-        Array.iter
-          (fun net ->
-            let mst = Routing.mst_of_net net in
-            let trace =
-              if budget = infinity then
-                Nontree.Ldrg.run
-                  ~model:config.Nontree.Experiment.search_model ~tech mst
-              else
-                Nontree.Ldrg.run_budgeted ~max_cost_ratio:budget
-                  ~model:config.Nontree.Experiment.search_model ~tech mst
-            in
-            let s =
-              sample_pair config ~baseline:mst
-                ~routing:trace.Nontree.Ldrg.final
-            in
-            delays := s.Nontree.Stats.delay_ratio :: !delays;
-            costs := s.Nontree.Stats.cost_ratio :: !costs)
-          nets;
-        Printf.sprintf "    budget %-8s delay %.3f, cost %.3f"
+        List.iter
+          (fun (d, c) ->
+            delays := d :: !delays;
+            costs := c :: !costs)
+          (map_nets pool ~what:"ext budget"
+             (fun net ->
+               let mst = Routing.mst_of_net net in
+               let trace =
+                 if budget = infinity then
+                   Nontree.Ldrg.run ~pool
+                     ~model:config.Nontree.Experiment.search_model ~tech mst
+                 else
+                   Nontree.Ldrg.run_budgeted ~pool ~max_cost_ratio:budget
+                     ~model:config.Nontree.Experiment.search_model ~tech mst
+               in
+               let s =
+                 sample_pair config ~baseline:mst
+                   ~routing:trace.Nontree.Ldrg.final
+               in
+               (s.Nontree.Stats.delay_ratio, s.Nontree.Stats.cost_ratio))
+             nets);
+        Printf.sprintf "    budget %-8s delay %s, cost %s"
           (if budget = infinity then "inf" else Printf.sprintf "%.2fx" budget)
-          (mean !delays) (mean !costs))
+          (mean_fmt !delays) (mean_fmt !costs))
       budgets
   in
   Printf.sprintf
@@ -568,6 +663,7 @@ let ext_budget config =
     (String.concat "\n" lines)
 
 let ext_prune config =
+  with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let size = 10 in
   let nets = Nontree.Experiment.nets config ~size in
@@ -575,30 +671,40 @@ let ext_prune config =
   let d_ldrg = ref [] and c_ldrg = ref [] in
   let d_pruned = ref [] and c_pruned = ref [] in
   let removed = ref 0 in
-  Array.iter
-    (fun net ->
-      let mst = Routing.mst_of_net net in
-      let base = measure config mst in
-      let ldrg = (Nontree.Ldrg.run ~model:search ~tech mst).Nontree.Ldrg.final in
-      let prune = Nontree.Prune.run ~model:search ~tech ldrg in
-      let lm = measure config ldrg in
-      let pm = measure config prune.Nontree.Prune.final in
-      d_ldrg := (lm.Nontree.Eval.delay /. base.Nontree.Eval.delay) :: !d_ldrg;
-      c_ldrg := (lm.Nontree.Eval.cost /. base.Nontree.Eval.cost) :: !c_ldrg;
-      d_pruned := (pm.Nontree.Eval.delay /. base.Nontree.Eval.delay) :: !d_pruned;
-      c_pruned := (pm.Nontree.Eval.cost /. base.Nontree.Eval.cost) :: !c_pruned;
-      removed := !removed + List.length prune.Nontree.Prune.removals)
-    nets;
+  List.iter
+    (fun (dl, cl, dp, cp, rm) ->
+      d_ldrg := dl :: !d_ldrg;
+      c_ldrg := cl :: !c_ldrg;
+      d_pruned := dp :: !d_pruned;
+      c_pruned := cp :: !c_pruned;
+      removed := !removed + rm)
+    (map_nets pool ~what:"ext prune"
+       (fun net ->
+         let mst = Routing.mst_of_net net in
+         let base = measure config mst in
+         let ldrg =
+           (Nontree.Ldrg.run ~pool ~model:search ~tech mst).Nontree.Ldrg.final
+         in
+         let prune = Nontree.Prune.run ~model:search ~tech ldrg in
+         let lm = measure config ldrg in
+         let pm = measure config prune.Nontree.Prune.final in
+         ( lm.Nontree.Eval.delay /. base.Nontree.Eval.delay,
+           lm.Nontree.Eval.cost /. base.Nontree.Eval.cost,
+           pm.Nontree.Eval.delay /. base.Nontree.Eval.delay,
+           pm.Nontree.Eval.cost /. base.Nontree.Eval.cost,
+           List.length prune.Nontree.Prune.removals ))
+       nets);
   Printf.sprintf
     "Extension X7 -- delay-preserving pruning after LDRG (%d nets of %d pins)\n\
     \  remove edges while the delay stays within 0.1%%; vs MST.\n\
-    \    LDRG            : delay %.3f, cost %.3f\n\
-    \    LDRG + prune    : delay %.3f, cost %.3f  (%.1f edges removed/net)\n"
-    (Array.length nets) size (mean !d_ldrg) (mean !c_ldrg) (mean !d_pruned)
-    (mean !c_pruned)
+    \    LDRG            : delay %s, cost %s\n\
+    \    LDRG + prune    : delay %s, cost %s  (%.1f edges removed/net)\n"
+    (Array.length nets) size (mean_fmt !d_ldrg) (mean_fmt !c_ldrg)
+    (mean_fmt !d_pruned) (mean_fmt !c_pruned)
     (float_of_int !removed /. float_of_int (Array.length nets))
 
 let ext_sensitivity config =
+  with_pool config @@ fun pool ->
   let size = 10 in
   let nets = Nontree.Experiment.nets config ~size in
   let base_tech = config.Nontree.Experiment.tech in
@@ -612,22 +718,28 @@ let ext_sensitivity config =
         let tech = { base_tech with Circuit.Technology.driver_resistance = rd } in
         let local = { config with Nontree.Experiment.tech = tech } in
         let delays = ref [] and costs = ref [] and wins = ref 0 in
-        Array.iter
-          (fun net ->
-            let mst = Routing.mst_of_net net in
-            let trace =
-              Nontree.Ldrg.run ~model:local.Nontree.Experiment.search_model
-                ~tech mst
-            in
-            let s =
-              sample_pair local ~baseline:mst ~routing:trace.Nontree.Ldrg.final
-            in
-            delays := s.Nontree.Stats.delay_ratio :: !delays;
-            costs := s.Nontree.Stats.cost_ratio :: !costs;
-            if Nontree.Stats.winner s then incr wins)
-          nets;
-        Printf.sprintf "    driver %5.0f Ohm : delay %.3f, cost %.3f, wins %d/%d"
-          rd (mean !delays) (mean !costs) !wins (Array.length nets))
+        List.iter
+          (fun (d, c, w) ->
+            delays := d :: !delays;
+            costs := c :: !costs;
+            if w then incr wins)
+          (map_nets pool ~what:"ext sensitivity"
+             (fun net ->
+               let mst = Routing.mst_of_net net in
+               let trace =
+                 Nontree.Ldrg.run ~pool
+                   ~model:local.Nontree.Experiment.search_model ~tech mst
+               in
+               let s =
+                 sample_pair local ~baseline:mst
+                   ~routing:trace.Nontree.Ldrg.final
+               in
+               ( s.Nontree.Stats.delay_ratio,
+                 s.Nontree.Stats.cost_ratio,
+                 Nontree.Stats.winner s ))
+             nets);
+        Printf.sprintf "    driver %5.0f Ohm : delay %s, cost %s, wins %d/%d"
+          rd (mean_fmt !delays) (mean_fmt !costs) !wins (Array.length nets))
       drivers
   in
   Printf.sprintf

@@ -1,0 +1,153 @@
+(* A fixed pool of worker domains with work-sharing maps.
+
+   Each [map] call registers one job: an array of tasks claimed by
+   index through an atomic counter. The caller immediately starts
+   claiming tasks of its own job; idle workers scan the active-job
+   list and help with whichever job still has unclaimed tasks. Because
+   a map's owner only ever executes items of its own job, an owner can
+   never block while its job still has unclaimed work — which is what
+   makes nested maps on one pool deadlock-free: every job is driven to
+   completion by its owner even if all other domains are busy or
+   waiting.
+
+   Determinism: results land in a per-job array slot keyed by item
+   index, so collection order equals submission order no matter which
+   domain ran what. Visibility of the (non-atomic) result slots is
+   anchored by the atomic completed-counter: each slot write precedes
+   the worker's fetch-and-add in program order, and the caller only
+   reads slots after observing the full count. *)
+
+type job = {
+  run : int -> unit;  (* executes task [i]; must not raise *)
+  total : int;
+  next : int Atomic.t;  (* next unclaimed task index *)
+  completed : int Atomic.t;
+}
+
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* workers: a job was submitted / shutdown *)
+  finished : Condition.t;  (* map callers: some job completed *)
+  mutable queue : job list;  (* active jobs, oldest first *)
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let make size =
+  { size;
+    mutex = Mutex.create ();
+    work = Condition.create ();
+    finished = Condition.create ();
+    queue = [];
+    stop = false;
+    domains = [] }
+
+let sequential = make 1
+
+let size pool = pool.size
+
+(* Claim and run tasks of [job] until every index is taken. *)
+let help pool job =
+  let rec go () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.total then begin
+      job.run i;
+      let finished_tasks = 1 + Atomic.fetch_and_add job.completed 1 in
+      if finished_tasks = job.total then begin
+        Mutex.lock pool.mutex;
+        pool.queue <- List.filter (fun j -> j != job) pool.queue;
+        Condition.broadcast pool.finished;
+        Mutex.unlock pool.mutex
+      end;
+      go ()
+    end
+  in
+  go ()
+
+let rec claimable = function
+  | [] -> None
+  | j :: rest -> if Atomic.get j.next < j.total then Some j else claimable rest
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    let rec await () =
+      if pool.stop then None
+      else
+        match claimable pool.queue with
+        | Some _ as job -> job
+        | None ->
+            Condition.wait pool.work pool.mutex;
+            await ()
+    in
+    let job = await () in
+    Mutex.unlock pool.mutex;
+    match job with
+    | None -> ()
+    | Some job ->
+        help pool job;
+        loop ()
+  in
+  loop ()
+
+let max_size = 128
+
+let create jobs =
+  let size = max 1 (min jobs max_size) in
+  let pool = make size in
+  pool.domains <-
+    List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let shutdown pool =
+  if pool.domains <> [] then begin
+    Mutex.lock pool.mutex;
+    pool.stop <- true;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    List.iter Domain.join pool.domains;
+    pool.domains <- []
+  end
+
+let with_pool ~jobs f =
+  let pool = create jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let map pool f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when pool.size <= 1 -> List.map f xs
+  | xs ->
+      let items = Array.of_list xs in
+      let n = Array.length items in
+      let results = Array.make n None in
+      let job =
+        { total = n;
+          next = Atomic.make 0;
+          completed = Atomic.make 0;
+          run =
+            (fun i ->
+              let r =
+                match f items.(i) with
+                | v -> Ok v
+                | exception e -> Error (e, Printexc.get_raw_backtrace ())
+              in
+              results.(i) <- Some r) }
+      in
+      Mutex.lock pool.mutex;
+      pool.queue <- pool.queue @ [ job ];
+      Condition.broadcast pool.work;
+      Mutex.unlock pool.mutex;
+      help pool job;
+      Mutex.lock pool.mutex;
+      while Atomic.get job.completed < n do
+        Condition.wait pool.finished pool.mutex
+      done;
+      Mutex.unlock pool.mutex;
+      List.init n (fun i ->
+          match results.(i) with
+          | Some (Ok v) -> v
+          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | None -> assert false)

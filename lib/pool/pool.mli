@@ -1,0 +1,54 @@
+(** Fixed Domain-based work pool for the delay-oracle hot paths.
+
+    The greedy routing loops and the experiment harness fan out over
+    work items that are mutually independent (candidate edges of one
+    LDRG iteration, the 50 nets of a table size). This pool runs such
+    fan-outs on OCaml 5 domains while keeping the *results*
+    deterministic: {!map} returns results in submission order and
+    re-raises the lowest-index exception, so callers that reduce with
+    an order-sensitive fold (first-index tie-breaks, float summation
+    order) produce output identical to the sequential run.
+
+    Built on the stdlib only ([Domain], [Mutex], [Condition],
+    [Atomic]) — no external dependencies.
+
+    Concurrency model: a pool of size [n] consists of [n − 1] worker
+    domains plus the calling domain, which participates in every
+    {!map} it issues (it only executes items of its *own* map, never
+    foreign work). This makes nested maps on the same pool safe: a
+    worker that issues an inner {!map} while executing an outer item
+    drives its own items to completion instead of blocking, so every
+    map's owner guarantees progress and the pool cannot deadlock. Total
+    parallelism stays bounded by the pool size regardless of nesting
+    depth. *)
+
+type t
+
+val sequential : t
+(** A size-1 pool: {!map} degenerates to [List.map] on the calling
+    domain — the untouched sequential path. *)
+
+val create : int -> t
+(** [create n] spawns [n − 1] worker domains (clamped to [1, 128]).
+    [create 1] spawns nothing and behaves like {!sequential}. *)
+
+val size : t -> int
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map pool f xs] applies [f] to every element of [xs], distributing
+    items over the pool's domains, and returns the results in the
+    order of [xs]. On a size-1 pool (or a 0/1-element list) this is
+    exactly [List.map f xs] — same evaluation order, same effects
+    order. If any application raises, the exception of the
+    lowest-index failing item is re-raised (with its backtrace) after
+    all items have finished; this choice is deterministic across
+    worker counts and schedules. *)
+
+val shutdown : t -> unit
+(** Stops and joins the worker domains. Idempotent. A {!map} issued
+    after shutdown still completes (the caller executes every item
+    itself). *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool of size [jobs] and
+    shuts it down afterwards, also on exceptions. *)

@@ -15,4 +15,20 @@ echo "== smoke: table 2, 20% fault injection =="
 dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 \
   --fault-rate 0.2 --log-level error
 
+echo "== smoke: table 2, 2 worker domains =="
+dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 --jobs 2
+
+echo "== smoke: table 2, 2 worker domains + 5% fault injection =="
+dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 \
+  --jobs 2 --fault-rate 0.05 --log-level error
+
+echo "== smoke: --jobs 2 table output matches sequential =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 \
+  > "$tmpdir/seq.out" 2>/dev/null
+dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 --jobs 2 \
+  > "$tmpdir/jobs2.out" 2>/dev/null
+diff -u "$tmpdir/seq.out" "$tmpdir/jobs2.out"
+
 echo "all checks passed"

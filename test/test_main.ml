@@ -12,6 +12,7 @@ let () =
          Test_steiner.suites;
          Test_ert.suites;
          Test_nontree.suites;
+         Test_pool.suites;
          Test_harness.suites;
          Test_robust.suites;
          Test_trees.suites;
