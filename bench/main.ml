@@ -213,6 +213,7 @@ let () =
   let jobs = ref 1 in
   let no_cache = ref false in
   let bench_json = ref "BENCH_nontree.json" in
+  let metrics_json = ref "" in
   let spec =
     [ ("--trials", Arg.Set_int trials, "N  trials per net size (default 50)");
       ("--sizes", Arg.Set_string sizes, "CSV  net sizes (default 5,10,20,30)");
@@ -233,7 +234,11 @@ let () =
       ( "--bench-json",
         Arg.Set_string bench_json,
         "PATH  machine-readable per-section stats (default \
-         BENCH_nontree.json; empty string disables)" )
+         BENCH_nontree.json; empty string disables)" );
+      ( "--metrics-json",
+        Arg.Set_string metrics_json,
+        "PATH  nontree-obs-v1 run manifest (counters, histograms, trace \
+         spans; default off)" )
     ]
   in
   Arg.parse spec
@@ -265,6 +270,10 @@ let () =
       eval_model;
       jobs = !jobs }
   in
+  (* The bench always records spans: per-section wall time below comes
+     from the same span log the manifest serialises, so BENCH_nontree.json
+     and --metrics-json report from one source of truth. *)
+  Obs.set_enabled true;
   Nontree.Oracle.Cache.reset ();
   Nontree.Oracle.Cache.set_enabled (not !no_cache);
   let wanted =
@@ -275,16 +284,22 @@ let () =
   let stats = ref [] in
   let section name f =
     if List.mem name wanted then begin
-      let t0 = Unix.gettimeofday () in
-      Delay.Robust.reset_evaluation_count ();
+      (* Wall time comes from the "bench.<name>" span; everything else is
+         a counter delta, so the run's global tallies survive intact for
+         the manifest. *)
+      let e0 = Delay.Robust.evaluation_count () in
       let c0 = Nontree.Oracle.Cache.stats () in
-      f ();
-      let wall_s = Unix.gettimeofday () -. t0 in
+      Obs.span ("bench." ^ name) f;
+      let wall_s =
+        match Obs.Span.find ("bench." ^ name) with
+        | Some sp -> sp.Obs.Span.dur_s
+        | None -> 0.0
+      in
       let c1 = Nontree.Oracle.Cache.stats () in
       let s =
         { name;
           wall_s;
-          oracle_calls = Delay.Robust.evaluation_count ();
+          oracle_calls = Delay.Robust.evaluation_count () - e0;
           cache_hits = c1.Nontree.Oracle.Cache.hits - c0.Nontree.Oracle.Cache.hits;
           cache_misses =
             c1.Nontree.Oracle.Cache.misses - c0.Nontree.Oracle.Cache.misses }
@@ -327,5 +342,28 @@ let () =
     output_string oc json;
     close_out oc;
     progress "wrote %s" !bench_json
+  end;
+  if !metrics_json <> "" then begin
+    let c = Nontree.Oracle.Cache.stats () in
+    Obs.Manifest.write ~path:!metrics_json
+      ~argv:(Array.to_list Sys.argv)
+      ~meta:
+        Obs.Json.
+          [ ("seed", Int !seed);
+            ("jobs", Int !jobs);
+            ("trials", Int !trials);
+            ("sizes", List (List.map (fun s -> Int s) size_list));
+            ("cache_enabled", Bool (not !no_cache));
+            ("eval_model",
+             String (Delay.Model.name config.Nontree.Experiment.eval_model)) ]
+      ~extra:
+        [ ( "cache",
+            Obs.Json.Obj
+              [ ("hits", Obs.Json.Int c.Nontree.Oracle.Cache.hits);
+                ("misses", Obs.Json.Int c.Nontree.Oracle.Cache.misses);
+                ("entries", Obs.Json.Int c.Nontree.Oracle.Cache.entries);
+                ("enabled", Obs.Json.Bool (not !no_cache)) ] ) ]
+      ();
+    progress "wrote %s" !metrics_json
   end;
   progress "done"

@@ -23,7 +23,22 @@ let algorithms tech model net =
       (Nontree.Ldrg.run ~model ~tech (Ert.construct ~tech net))
         .Nontree.Ldrg.final ) ]
 
-let run net_file model_name =
+let finish_observability ~model_name ~metrics_json ~trace =
+  if trace then (
+    match Obs.span_summary () with
+    | Some s -> Printf.eprintf "%s%!" s
+    | None -> ());
+  match metrics_json with
+  | None -> ()
+  | Some path ->
+      Obs.Manifest.write ~path
+        ~argv:(Array.to_list Sys.argv)
+        ~meta:[ ("model", Obs.Json.String model_name) ]
+        ();
+      Printf.eprintf "wrote metrics manifest %s\n%!" path
+
+let run net_file model_name metrics_json trace =
+  if trace || metrics_json <> None then Obs.set_enabled true;
   match Geom.Netfile.read net_file with
   | Error e -> `Error (false, net_file ^ ": " ^ e)
   | Ok net ->
@@ -55,6 +70,7 @@ let run net_file model_name =
             (Trees.Metrics.radius r /. 1e3)
             (if Routing.is_tree r then "tree" else "graph"))
         rows;
+      finish_observability ~model_name ~metrics_json ~trace;
       `Ok ()
 
 let net_file =
@@ -71,8 +87,27 @@ let model =
           "moment (all first-moment), spice (SPICE search and eval), or \
            mixed (first-moment search, SPICE eval; default).")
 
+let metrics_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"PATH"
+        ~doc:
+          "Write a nontree-obs-v1 run manifest (counters, histograms, trace \
+           spans) to $(docv). Stdout is unchanged.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record tracing spans and print a per-span summary to stderr after \
+           the run.")
+
 let cmd =
   let doc = "compare all routing constructions on one net" in
-  Cmd.v (Cmd.info "compare" ~doc) Term.(ret (const run $ net_file $ model))
+  Cmd.v
+    (Cmd.info "compare" ~doc)
+    Term.(ret (const run $ net_file $ model $ metrics_json $ trace))
 
 let () = exit (Cmd.eval cmd)

@@ -86,12 +86,40 @@ let dispatch config table figure ext svg_dir =
       `Error (true, "pick one of --table, --figure or --ext")
   | _ -> `Error (true, "--table, --figure and --ext are mutually exclusive")
 
+(* Everything the manifest needs to reproduce the run: the knobs that
+   feed [config_of] plus the fault and cache switches. *)
+let manifest_meta ~trials ~sizes ~seed ~jobs ~fault_rate ~no_cache =
+  Obs.Json.
+    [ ("seed", Int seed);
+      ("jobs", Int jobs);
+      ("trials", Int trials);
+      ("sizes", List (List.map (fun s -> Int s) sizes));
+      ("fault_rate", Float fault_rate);
+      ("cache_enabled", Bool (not no_cache)) ]
+
+let write_manifest ~path ~meta =
+  let s = Nontree.Oracle.Cache.stats () in
+  Obs.Manifest.write ~path
+    ~argv:(Array.to_list Sys.argv)
+    ~meta
+    ~extra:
+      [ ( "cache",
+          Obs.Json.Obj
+            [ ("hits", Obs.Json.Int s.Nontree.Oracle.Cache.hits);
+              ("misses", Obs.Json.Int s.Nontree.Oracle.Cache.misses);
+              ("entries", Obs.Json.Int s.Nontree.Oracle.Cache.entries);
+              ("enabled", Obs.Json.Bool (Nontree.Oracle.Cache.enabled ())) ] )
+      ]
+    ();
+  Printf.eprintf "wrote metrics manifest %s\n%!" path
+
 let run table figure ext trials sizes seed svg_dir fault_rate fault_seed
-    jobs no_cache log_level =
+    jobs no_cache metrics_json trace log_level =
   Logs.set_reporter (Logs.format_reporter ~dst:Format.err_formatter ());
   Logs.set_level log_level;
   if jobs < 1 then `Error (false, "--jobs must be >= 1")
   else begin
+    if trace || metrics_json <> None then Obs.set_enabled true;
     Nontree_error.Counters.reset ();
     Nontree.Oracle.Cache.reset ();
     Nontree.Oracle.Cache.set_enabled (not no_cache);
@@ -112,6 +140,17 @@ let run table figure ext trials sizes seed svg_dir fault_rate fault_seed
     | None -> ());
     (match Nontree.Oracle.Cache.summary () with
     | Some line -> Printf.eprintf "%s\n%!" line
+    | None -> ());
+    if trace then (
+      match Obs.span_summary () with
+      | Some s -> Printf.eprintf "%s%!" s
+      | None -> ());
+    (* Write the manifest even when dispatch errored: a partial run's
+       counters are exactly what post-mortems want. *)
+    (match metrics_json with
+    | Some path ->
+        write_manifest ~path
+          ~meta:(manifest_meta ~trials ~sizes ~seed ~jobs ~fault_rate ~no_cache)
     | None -> ());
     result
   end
@@ -187,6 +226,25 @@ let no_cache =
           "Disable the oracle memo cache (enabled by default; cached runs \
            print the same bytes, a hit/miss summary goes to stderr).")
 
+let metrics_json =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-json" ] ~docv:"PATH"
+        ~doc:
+          "Write a nontree-obs-v1 run manifest (git describe, argv, run \
+           parameters, counters, histograms, trace spans, cache stats) to \
+           $(docv). Enables span recording; table output on stdout is \
+           unchanged.")
+
+let trace =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Record tracing spans and print a per-span summary (call count, \
+           total wall time) to stderr after the run.")
+
 let log_level =
   let levels =
     [ ("quiet", None);
@@ -210,6 +268,7 @@ let cmd =
     Term.(
       ret
         (const run $ table $ figure $ ext $ trials $ sizes $ seed $ svg_dir
-        $ fault_rate $ fault_seed $ jobs $ no_cache $ log_level))
+        $ fault_rate $ fault_seed $ jobs $ no_cache $ metrics_json $ trace
+        $ log_level))
 
 let () = exit (Cmd.eval cmd)

@@ -13,6 +13,13 @@ type trace = {
   evaluations : int;
 }
 
+(* Candidate edges scored per greedy iteration, across every algorithm
+   that funnels through [run_objective] (LDRG, SLDRG, budgeted LDRG,
+   CSORG): the fan-out the parallel pool has to chew through. *)
+let candidates_per_iteration =
+  Obs.Histogram.make "ldrg.candidates"
+    ~buckets:[| 1.0; 2.0; 5.0; 10.0; 20.0; 50.0; 100.0; 200.0; 500.0 |]
+
 let run_objective ?(pool = Pool.sequential) ?(max_edges = max_int)
     ?(min_improvement = 1e-9) ?(candidates = Routing.candidate_edges)
     ~objective initial =
@@ -29,12 +36,17 @@ let run_objective ?(pool = Pool.sequential) ?(max_edges = max_int)
          minimum keeping the *earliest* candidate on ties, so the
          winner — and hence the whole trace — is the one the original
          sequential fold picked, for any worker count. *)
+      let cands = candidates current in
+      if Obs.enabled () then
+        Obs.Histogram.observe candidates_per_iteration
+          (float_of_int (List.length cands));
       let scored =
-        Pool.map pool
-          (fun (u, v) ->
-            let trial = Routing.add_edge current u v in
-            ((u, v), trial, eval trial))
-          (candidates current)
+        Obs.span "ldrg.iteration" (fun () ->
+            Pool.map pool
+              (fun (u, v) ->
+                let trial = Routing.add_edge current u v in
+                ((u, v), trial, eval trial))
+              cands)
       in
       let best =
         List.fold_left

@@ -29,8 +29,11 @@ module Cache = struct
   type stats = { hits : int; misses : int; entries : int }
 
   let enabled_flag = Atomic.make false
-  let hits = Atomic.make 0
-  let misses = Atomic.make 0
+
+  (* Registry counters, so the manifest's counter section carries the
+     cache traffic without extra plumbing; [stats] reads them back. *)
+  let hits = Obs.Counter.make "oracle.cache.hits"
+  let misses = Obs.Counter.make "oracle.cache.misses"
   let capacity = Atomic.make 200_000
   let lock = Mutex.create ()
 
@@ -44,25 +47,33 @@ module Cache = struct
     Mutex.lock lock;
     Hashtbl.reset table;
     Mutex.unlock lock;
-    Atomic.set hits 0;
-    Atomic.set misses 0
+    Obs.Counter.set hits 0;
+    Obs.Counter.set misses 0
 
   let stats () =
     Mutex.lock lock;
     let entries = Hashtbl.length table in
     Mutex.unlock lock;
-    { hits = Atomic.get hits; misses = Atomic.get misses; entries }
+    { hits = Obs.Counter.value hits;
+      misses = Obs.Counter.value misses;
+      entries }
 
   let summary () =
     let s = stats () in
     let total = s.hits + s.misses in
-    if total = 0 then None
+    (* An enabled cache that saw no traffic still reports — with an
+       explicit "n/a" hit rate, never 0/0 = NaN. Only a cache that was
+       never switched on stays silent. *)
+    if total = 0 && not (Atomic.get enabled_flag) then None
     else
       Some
         (Printf.sprintf
-           "oracle cache: %d hits, %d misses (%.1f%% hit rate), %d entries"
-           s.hits s.misses
-           (100.0 *. float_of_int s.hits /. float_of_int total)
+           "oracle cache: %d hits, %d misses (%s hit rate), %d entries" s.hits
+           s.misses
+           (if total = 0 then "n/a"
+            else
+              Printf.sprintf "%.1f%%"
+                (100.0 *. float_of_int s.hits /. float_of_int total))
            s.entries)
 
   (* The key is an explicit rendering of everything the robust oracle's
@@ -129,10 +140,10 @@ module Cache = struct
       let k = key ~model ~tech r in
       match find k with
       | Some ds ->
-          Atomic.incr hits;
+          Obs.Counter.incr hits;
           ds
       | None ->
-          Atomic.incr misses;
+          Obs.Counter.incr misses;
           (* Computed outside the lock; two domains racing on the same
              key both compute the same value, and the second store is a
              no-op overwrite. Failed evaluations are never cached — a

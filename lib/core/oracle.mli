@@ -58,9 +58,10 @@ module Cache : sig
   val stats : unit -> stats
 
   val summary : unit -> string option
-  (** One human-readable line ("oracle cache: H hits, M misses ...") or
-      [None] when the cache saw no traffic — printed by the binaries
-      next to the robustness summary. *)
+  (** One human-readable line ("oracle cache: H hits, M misses ...") —
+      printed by the binaries next to the robustness summary. The hit
+      rate reads "n/a" (never NaN) when the cache saw no traffic;
+      [None] only when the cache is disabled and idle. *)
 
   val sink_delays :
     model:Delay.Model.t ->

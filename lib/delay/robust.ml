@@ -58,16 +58,25 @@ let count_fallback = function
   | _ -> Nontree_error.Counters.incr_moment_fallbacks ()
 
 (* Process-wide tally of robust oracle evaluations — the denominator
-   the bench harness reports next to cache hit rates. *)
-let evaluation_counter = Atomic.make 0
+   the bench harness reports next to cache hit rates. A registry
+   counter, so it lands in nontree-obs-v1 manifests as
+   "oracle.evaluations". *)
+let evaluation_counter = Obs.Counter.make "oracle.evaluations"
 
-let evaluation_count () = Atomic.get evaluation_counter
-let reset_evaluation_count () = Atomic.set evaluation_counter 0
+(* Wall-time distribution of one robust evaluation (retries, fallback
+   and all); populated only while observability is enabled. *)
+let evaluation_seconds =
+  Obs.Histogram.make "oracle.eval_seconds"
+    ~buckets:[| 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+
+let evaluation_count () = Obs.Counter.value evaluation_counter
+let reset_evaluation_count () = Obs.Counter.set evaluation_counter 0
 
 let sink_delays ?(policy = default_policy) ~model ~tech r =
   if policy.max_attempts < 1 then
     invalid_arg "Robust.sink_delays: max_attempts must be >= 1";
-  Atomic.incr evaluation_counter;
+  Obs.Counter.incr evaluation_counter;
+  Obs.timed evaluation_seconds @@ fun () ->
   (* Domain-local window: an evaluation runs on one domain, so this
      counts exactly the faults injected into *this* evaluation even
      while other domains inject concurrently. *)

@@ -35,34 +35,35 @@ module Counters = struct
     oracle_errors : int;
   }
 
-  (* Atomics, not plain refs: the counters are bumped from worker
-     domains when the Pool-based evaluation layer is active, and the
-     robustness summary must stay exact under --jobs > 1. *)
-  let retries = Atomic.make 0
-  let moment_fallbacks = Atomic.make 0
-  let elmore_fallbacks = Atomic.make 0
-  let faults_injected' = Atomic.make 0
-  let faults_survived = Atomic.make 0
-  let dropped_evaluations = Atomic.make 0
-  let dropped_nets = Atomic.make 0
-  let oracle_errors = Atomic.make 0
+  (* Registered Obs counters (atomics underneath, so the summary stays
+     exact when worker domains bump them under --jobs > 1). Living in
+     the registry means the robustness tallies appear in every
+     nontree-obs-v1 manifest without extra plumbing. *)
+  let retries = Obs.Counter.make "oracle.retries"
+  let moment_fallbacks = Obs.Counter.make "oracle.fallbacks.moment"
+  let elmore_fallbacks = Obs.Counter.make "oracle.fallbacks.elmore"
+  let faults_injected' = Obs.Counter.make "faults.injected"
+  let faults_survived = Obs.Counter.make "faults.survived"
+  let dropped_evaluations = Obs.Counter.make "oracle.evaluations.dropped"
+  let dropped_nets = Obs.Counter.make "harness.nets.dropped"
+  let oracle_errors = Obs.Counter.make "oracle.errors"
 
   let all =
     [ retries; moment_fallbacks; elmore_fallbacks; faults_injected';
       faults_survived; dropped_evaluations; dropped_nets; oracle_errors ]
 
-  let reset () = List.iter (fun r -> Atomic.set r 0) all
-  let any () = List.exists (fun r -> Atomic.get r <> 0) all
+  let reset () = List.iter (fun c -> Obs.Counter.set c 0) all
+  let any () = List.exists (fun c -> Obs.Counter.value c <> 0) all
 
   let snapshot () =
-    { retries = Atomic.get retries;
-      moment_fallbacks = Atomic.get moment_fallbacks;
-      elmore_fallbacks = Atomic.get elmore_fallbacks;
-      faults_injected = Atomic.get faults_injected';
-      faults_survived = Atomic.get faults_survived;
-      dropped_evaluations = Atomic.get dropped_evaluations;
-      dropped_nets = Atomic.get dropped_nets;
-      oracle_errors = Atomic.get oracle_errors }
+    { retries = Obs.Counter.value retries;
+      moment_fallbacks = Obs.Counter.value moment_fallbacks;
+      elmore_fallbacks = Obs.Counter.value elmore_fallbacks;
+      faults_injected = Obs.Counter.value faults_injected';
+      faults_survived = Obs.Counter.value faults_survived;
+      dropped_evaluations = Obs.Counter.value dropped_evaluations;
+      dropped_nets = Obs.Counter.value dropped_nets;
+      oracle_errors = Obs.Counter.value oracle_errors }
 
   (* One evaluation runs entirely on one domain, so a domain-local
      tally lets Delay.Robust measure the faults injected into *its
@@ -70,20 +71,20 @@ module Counters = struct
      concurrently (the global counter alone cannot distinguish them). *)
   let injected_local = Domain.DLS.new_key (fun () -> ref 0)
 
-  let incr_retries () = Atomic.incr retries
-  let incr_moment_fallbacks () = Atomic.incr moment_fallbacks
-  let incr_elmore_fallbacks () = Atomic.incr elmore_fallbacks
+  let incr_retries () = Obs.Counter.incr retries
+  let incr_moment_fallbacks () = Obs.Counter.incr moment_fallbacks
+  let incr_elmore_fallbacks () = Obs.Counter.incr elmore_fallbacks
 
   let incr_faults_injected () =
-    Atomic.incr faults_injected';
+    Obs.Counter.incr faults_injected';
     incr (Domain.DLS.get injected_local)
 
-  let add_faults_survived n = ignore (Atomic.fetch_and_add faults_survived n)
-  let incr_dropped_evaluations () = Atomic.incr dropped_evaluations
-  let incr_dropped_nets () = Atomic.incr dropped_nets
-  let incr_oracle_errors () = Atomic.incr oracle_errors
+  let add_faults_survived n = Obs.Counter.add faults_survived n
+  let incr_dropped_evaluations () = Obs.Counter.incr dropped_evaluations
+  let incr_dropped_nets () = Obs.Counter.incr dropped_nets
+  let incr_oracle_errors () = Obs.Counter.incr oracle_errors
 
-  let faults_injected () = Atomic.get faults_injected'
+  let faults_injected () = Obs.Counter.value faults_injected'
   let faults_injected_local () = !(Domain.DLS.get injected_local)
 
   let summary () =

@@ -47,6 +47,7 @@ let sample_pair config ~baseline ~routing =
 let unit_sample = { Nontree.Stats.delay_ratio = 1.0; cost_ratio = 1.0 }
 
 let table1 config =
+  Obs.span "harness.table1" @@ fun () ->
   Format.asprintf
     "Table 1: SPICE model parameters (0.8 um CMOS)@\n%a@."
     Circuit.Technology.pp config.Nontree.Experiment.tech
@@ -124,6 +125,7 @@ let simple_table config ~algorithm =
 let iteration_labels = [ "Iteration One"; "Iteration Two"; "Iteration Three" ]
 
 let table2 ?(iterations = 2) config =
+  Obs.span "harness.table2" @@ fun () ->
   per_iteration_table config ~iterations
     ~labels:iteration_labels
     ~algorithm:(fun pool net ->
@@ -132,6 +134,7 @@ let table2 ?(iterations = 2) config =
         (Routing.mst_of_net net))
 
 let table3 config =
+  Obs.span "harness.table3" @@ fun () ->
   simple_table config ~algorithm:(fun pool net ->
       let trace =
         Nontree.Sldrg.run ~pool ~model:config.Nontree.Experiment.search_model
@@ -140,6 +143,7 @@ let table3 config =
       (trace.Nontree.Ldrg.initial, trace.Nontree.Ldrg.final))
 
 let table4 ?(iterations = 2) config =
+  Obs.span "harness.table4" @@ fun () ->
   per_iteration_table config ~iterations
     ~labels:iteration_labels
     ~algorithm:(fun _pool net ->
@@ -151,6 +155,7 @@ let table4 ?(iterations = 2) config =
         (Routing.mst_of_net net))
 
 let table5 config =
+  Obs.span "harness.table5" @@ fun () ->
   let run h =
     simple_table config ~algorithm:(fun _pool net ->
         let mst = Routing.mst_of_net net in
@@ -160,11 +165,13 @@ let table5 config =
   (run Nontree.Heuristics.h2, run Nontree.Heuristics.h3)
 
 let table6 config =
+  Obs.span "harness.table6" @@ fun () ->
   simple_table config ~algorithm:(fun _pool net ->
       ( Routing.mst_of_net net,
         Ert.construct ~tech:config.Nontree.Experiment.tech net ))
 
 let table7 config =
+  Obs.span "harness.table7" @@ fun () ->
   simple_table config ~algorithm:(fun pool net ->
       let ert = Ert.construct ~tech:config.Nontree.Experiment.tech net in
       let trace =
@@ -261,18 +268,21 @@ let single_edge_figure config ~id ~size ~scan ~description =
           Some (score, figure_of_trace config ~id ~description trace))
 
 let figure1 config =
+  Obs.span "harness.figure1" @@ fun () ->
   single_edge_figure config ~id:"Figure 1" ~size:4 ~scan:80
     ~description:
       "adding one extra edge to a 4-pin MST trades a small wirelength \
        increase for a large SPICE delay reduction"
 
 let figure2 config =
+  Obs.span "harness.figure2" @@ fun () ->
   single_edge_figure config ~id:"Figure 2" ~size:10 ~scan:20
     ~description:
       "a random 10-pin net where a single extra edge substantially \
        reduces SPICE delay"
 
 let figure3 config =
+  Obs.span "harness.figure3" @@ fun () ->
   search_nets config ~size:10 ~scan:20 ~score:(fun pool net ->
       let mst = Routing.mst_of_net net in
       let trace =
@@ -296,6 +306,7 @@ let figure3 config =
       end)
 
 let figure5 config =
+  Obs.span "harness.figure5" @@ fun () ->
   search_nets config ~size:10 ~scan:12 ~score:(fun pool net ->
       let trace =
         Nontree.Sldrg.run ~pool ~model:config.Nontree.Experiment.search_model
@@ -367,6 +378,7 @@ let mean_fmt ?(decimals = 3) l =
   else Printf.sprintf "%.*f" decimals (mean l)
 
 let ext_csorg config =
+  Obs.span "harness.ext_csorg" @@ fun () ->
   with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let size = 10 in
@@ -429,6 +441,7 @@ let ext_csorg config =
     (mean_fmt !ratios_ert) (mean_fmt !ratios_sert)
 
 let ext_wsorg config =
+  Obs.span "harness.ext_wsorg" @@ fun () ->
   with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let size = 10 in
@@ -477,6 +490,7 @@ let ext_wsorg config =
     (mean_fmt ~decimals:2 !a_both)
 
 let ext_oracle config =
+  Obs.span "harness.ext_oracle" @@ fun () ->
   with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let oracles =
@@ -527,6 +541,7 @@ let ext_oracle config =
     (String.concat "\n" blocks)
 
 let ext_rlc config =
+  Obs.span "harness.ext_rlc" @@ fun () ->
   with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let size = 10 in
@@ -568,6 +583,7 @@ let ext_rlc config =
     !agree !kept
 
 let ext_trees config =
+  Obs.span "harness.ext_trees" @@ fun () ->
   with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let size = 10 in
@@ -620,6 +636,7 @@ let ext_trees config =
     (String.concat "\n" lines)
 
 let ext_budget config =
+  Obs.span "harness.ext_budget" @@ fun () ->
   with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let size = 10 in
@@ -663,6 +680,7 @@ let ext_budget config =
     (String.concat "\n" lines)
 
 let ext_prune config =
+  Obs.span "harness.ext_prune" @@ fun () ->
   with_pool config @@ fun pool ->
   let tech = config.Nontree.Experiment.tech in
   let size = 10 in
@@ -704,6 +722,7 @@ let ext_prune config =
     (float_of_int !removed /. float_of_int (Array.length nets))
 
 let ext_sensitivity config =
+  Obs.span "harness.ext_sensitivity" @@ fun () ->
   with_pool config @@ fun pool ->
   let size = 10 in
   let nets = Nontree.Experiment.nets config ~size in

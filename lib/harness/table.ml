@@ -16,15 +16,25 @@ let row_cells = function
         (opt_cell r.Nontree.Stats.win_delay)
         (opt_cell r.Nontree.Stats.win_cost)
 
+(* Group rows by label at the label's *first occurrence*, keeping row
+   order within each group. Merging only adjacent runs would render a
+   duplicate header block whenever rows for one stage arrive
+   non-contiguously; for already-contiguous input the output is
+   identical to the old adjacent-run fold. *)
 let group_by_label rows =
-  List.fold_left
-    (fun acc r ->
-      match acc with
-      | (label, group) :: rest when label = r.label ->
-          (label, r :: group) :: rest
-      | _ -> (r.label, [ r ]) :: acc)
-    [] rows
-  |> List.rev_map (fun (label, group) -> (label, List.rev group))
+  let order = ref [] in
+  let groups = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt groups r.label with
+      | Some group -> group := r :: !group
+      | None ->
+          Hashtbl.add groups r.label (ref [ r ]);
+          order := r.label :: !order)
+    rows;
+  List.rev_map
+    (fun label -> (label, List.rev !(Hashtbl.find groups label)))
+    !order
 
 let render ~title ~baseline rows =
   let buf = Buffer.create 1024 in

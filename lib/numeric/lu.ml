@@ -9,6 +9,12 @@ type t = {
 
 exception Singular of int
 
+(* Every MNA stamp, transient step-size change and rcond probe lands
+   here, so the factorisation count is the truest "linear algebra work
+   done" metric the manifest carries. *)
+let factorizations = Obs.Counter.make "lu.factorizations"
+let singular_factorizations = Obs.Counter.make "lu.singular"
+
 let pivot_floor = 1e-300
 
 (* A pivot this small relative to the largest entry of the input means
@@ -21,6 +27,7 @@ let relative_pivot_threshold = 1e-13
 let try_factor m =
   let n = Matrix.rows m in
   if Matrix.cols m <> n then invalid_arg "Lu.factor: matrix not square";
+  Obs.Counter.incr factorizations;
   let a = Array.make (n * n) 0.0 in
   let amax = ref 0.0 and finite = ref true in
   let col_sums = Array.make n 0.0 in
@@ -34,7 +41,10 @@ let try_factor m =
       col_sums.(j) <- col_sums.(j) +. av
     done
   done;
-  if not !finite then Error (-1)
+  if not !finite then begin
+    Obs.Counter.incr singular_factorizations;
+    Error (-1)
+  end
   else begin
     let anorm1 = Array.fold_left Float.max 0.0 col_sums in
     let floor = Float.max pivot_floor (relative_pivot_threshold *. !amax) in
@@ -80,7 +90,9 @@ let try_factor m =
        done
      with Exit -> ());
     match !result with
-    | Some err -> err
+    | Some err ->
+        Obs.Counter.incr singular_factorizations;
+        err
     | None ->
         Ok
           { n; lu = a; perm; sign = !sign; scratch = Array.make n 0.0; anorm1 }

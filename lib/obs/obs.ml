@@ -1,0 +1,547 @@
+(* Domain-safe observability: a process-wide metrics registry (named
+   atomic counters and fixed-bucket histograms), lightweight tracing
+   spans with per-domain parent/child nesting, and a machine-readable
+   run-manifest writer (schema nontree-obs-v1).
+
+   Cost model. Counters are bare atomics — the exact cost of the ad-hoc
+   [Atomic.t] tallies they replaced — so they stay unconditional and the
+   pre-existing stderr summaries (robustness, cache hit rate) keep
+   working with observability off. Spans and histograms are the *new*
+   instrumentation this layer adds; both begin with a single
+   [Atomic.get] of [enabled_flag] and do nothing else when disabled, so
+   an instrumented hot path (the LDRG iteration loop, the robust
+   oracle) runs at its previous speed unless --trace or --metrics-json
+   turned observability on. *)
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* JSON ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape_string s =
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+
+  (* Integral floats print as "x.0" so the parser reads them back as
+     [Float], keeping to_string/of_string a round trip; %.17g preserves
+     every bit of a finite double. Non-finite values have no JSON
+     spelling and become null. *)
+  let float_string f =
+    if not (Float.is_finite f) then "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.17g" f
+
+  let to_string t =
+    let buf = Buffer.create 1024 in
+    let pad n = Buffer.add_string buf (String.make n ' ') in
+    let rec go indent = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (string_of_bool b)
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f -> Buffer.add_string buf (float_string f)
+      | String s -> Buffer.add_string buf (escape_string s)
+      | List [] -> Buffer.add_string buf "[]"
+      | List xs ->
+          Buffer.add_string buf "[\n";
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_string buf ",\n";
+              pad (indent + 2);
+              go (indent + 2) x)
+            xs;
+          Buffer.add_char buf '\n';
+          pad indent;
+          Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj kvs ->
+          Buffer.add_string buf "{\n";
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_string buf ",\n";
+              pad (indent + 2);
+              Buffer.add_string buf (escape_string k);
+              Buffer.add_string buf ": ";
+              go (indent + 2) v)
+            kvs;
+          Buffer.add_char buf '\n';
+          pad indent;
+          Buffer.add_char buf '}'
+    in
+    go 0 t;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  exception Parse_error of string * int
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (msg, !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then incr pos
+      else fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal lit v =
+      let m = String.length lit in
+      if !pos + m <= n && String.sub s !pos m = lit then begin
+        pos := !pos + m;
+        v
+      end
+      else fail ("expected " ^ lit)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' ->
+              incr pos;
+              Buffer.contents buf
+          | '\\' ->
+              incr pos;
+              if !pos >= n then fail "truncated escape";
+              (match s.[!pos] with
+              | '"' -> Buffer.add_char buf '"'; incr pos
+              | '\\' -> Buffer.add_char buf '\\'; incr pos
+              | '/' -> Buffer.add_char buf '/'; incr pos
+              | 'n' -> Buffer.add_char buf '\n'; incr pos
+              | 't' -> Buffer.add_char buf '\t'; incr pos
+              | 'r' -> Buffer.add_char buf '\r'; incr pos
+              | 'b' -> Buffer.add_char buf '\b'; incr pos
+              | 'f' -> Buffer.add_char buf '\012'; incr pos
+              | 'u' ->
+                  if !pos + 4 >= n then fail "truncated \\u escape";
+                  let code =
+                    match
+                      int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4)
+                    with
+                    | Some c when Uchar.is_valid c -> c
+                    | _ -> fail "bad \\u escape"
+                  in
+                  Buffer.add_utf_8_uchar buf (Uchar.of_int code);
+                  pos := !pos + 5
+              | _ -> fail "unknown escape");
+              go ()
+          | c ->
+              Buffer.add_char buf c;
+              incr pos;
+              go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while !pos < n && is_num s.[!pos] do
+        incr pos
+      done;
+      let tok = String.sub s start (!pos - start) in
+      if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') tok then
+        match float_of_string_opt tok with
+        | Some f -> Float f
+        | None -> fail ("bad number " ^ tok)
+      else
+        match int_of_string_opt tok with
+        | Some i -> Int i
+        | None -> (
+            match float_of_string_opt tok with
+            | Some f -> Float f
+            | None -> fail ("bad number " ^ tok))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> fail "expected ',' or '}'"
+            in
+            members []
+          end
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            List []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  items (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List (List.rev (v :: acc))
+              | _ -> fail "expected ',' or ']'"
+            in
+            items []
+          end
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> parse_number ()
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing content after value";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error (msg, p) ->
+        Error (Printf.sprintf "%s at offset %d" msg p)
+
+  let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+end
+
+(* Counters --------------------------------------------------------------- *)
+
+module Counter = struct
+  type t = { name : string; value : int Atomic.t }
+
+  let lock = Mutex.create ()
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  (* Idempotent: two modules naming the same counter share one cell, so
+     a migrated tally keeps its identity wherever it is bumped from. *)
+  let make name =
+    Mutex.lock lock;
+    let c =
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c = { name; value = Atomic.make 0 } in
+          Hashtbl.add registry name c;
+          c
+    in
+    Mutex.unlock lock;
+    c
+
+  let name c = c.name
+  let incr c = Atomic.incr c.value
+  let add c n = ignore (Atomic.fetch_and_add c.value n)
+  let value c = Atomic.get c.value
+  let set c n = Atomic.set c.value n
+
+  let snapshot () =
+    Mutex.lock lock;
+    let all = Hashtbl.fold (fun _ c acc -> c :: acc) registry [] in
+    Mutex.unlock lock;
+    List.sort compare (List.map (fun c -> (c.name, value c)) all)
+end
+
+(* Histograms ------------------------------------------------------------- *)
+
+module Histogram = struct
+  type t = {
+    name : string;
+    bounds : float array;  (* strictly increasing inclusive upper bounds *)
+    counts : int Atomic.t array;  (* length = bounds + 1 (overflow last) *)
+    sum : float Atomic.t;
+  }
+
+  type view = {
+    view_name : string;
+    view_bounds : float array;
+    view_counts : int array;
+    count : int;
+    total : float;
+  }
+
+  let lock = Mutex.create ()
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 16
+
+  let make name ~buckets =
+    if Array.length buckets = 0 then
+      invalid_arg "Obs.Histogram.make: no buckets";
+    Array.iteri
+      (fun i b ->
+        if i > 0 && buckets.(i - 1) >= b then
+          invalid_arg "Obs.Histogram.make: buckets must increase")
+      buckets;
+    Mutex.lock lock;
+    let h =
+      match Hashtbl.find_opt registry name with
+      | Some h -> h
+      | None ->
+          let h =
+            { name;
+              bounds = Array.copy buckets;
+              counts =
+                Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+              sum = Atomic.make 0.0 }
+          in
+          Hashtbl.add registry name h;
+          h
+    in
+    Mutex.unlock lock;
+    h
+
+  let rec atomic_add_float a x =
+    let cur = Atomic.get a in
+    if not (Atomic.compare_and_set a cur (cur +. x)) then atomic_add_float a x
+
+  let observe h v =
+    if Atomic.get enabled_flag then begin
+      let n = Array.length h.bounds in
+      let rec bucket i = if i >= n || v <= h.bounds.(i) then i else bucket (i + 1) in
+      Atomic.incr h.counts.(bucket 0);
+      atomic_add_float h.sum v
+    end
+
+  let view h =
+    let counts = Array.map Atomic.get h.counts in
+    { view_name = h.name;
+      view_bounds = Array.copy h.bounds;
+      view_counts = counts;
+      count = Array.fold_left ( + ) 0 counts;
+      total = Atomic.get h.sum }
+
+  let reset h =
+    Array.iter (fun c -> Atomic.set c 0) h.counts;
+    Atomic.set h.sum 0.0
+
+  let snapshot () =
+    Mutex.lock lock;
+    let all = Hashtbl.fold (fun _ h acc -> h :: acc) registry [] in
+    Mutex.unlock lock;
+    List.sort compare (List.map (fun h -> (h.name, view h)) all)
+end
+
+(* Tracing spans ---------------------------------------------------------- *)
+
+module Span = struct
+  type t = {
+    id : int;
+    parent : int option;  (* enclosing span on the same domain *)
+    name : string;
+    domain : int;  (* Domain.self of the domain that ran the span *)
+    start_s : float;  (* seconds since process start *)
+    dur_s : float;
+  }
+
+  (* gettimeofday is the only wall clock the stdlib offers; spans store
+     offsets from one process-wide origin, so the log is consistent and
+     monotone for any realistic run even if the absolute clock steps. *)
+  let t0 = Unix.gettimeofday ()
+
+  let lock = Mutex.create ()
+  let log : t list ref = ref []  (* newest first *)
+  let next_id = Atomic.make 0
+
+  (* Per-domain stack of open span ids: nesting is attributed within a
+     domain; a span opened on a worker domain starts a fresh root there
+     (cross-domain parentage cannot be observed without threading
+     context through Pool, and per-domain roots are what the per-Domain
+     breakdown wants anyway). *)
+  let stack : int list ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref [])
+
+  let record sp =
+    Mutex.lock lock;
+    log := sp :: !log;
+    Mutex.unlock lock
+
+  let reset () =
+    Mutex.lock lock;
+    log := [];
+    Mutex.unlock lock
+
+  let all () =
+    Mutex.lock lock;
+    let l = !log in
+    Mutex.unlock lock;
+    List.rev l
+
+  let find name =
+    Mutex.lock lock;
+    let r = List.find_opt (fun sp -> sp.name = name) !log in
+    Mutex.unlock lock;
+    r
+end
+
+let span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let id = Atomic.fetch_and_add Span.next_id 1 in
+    let stack = Domain.DLS.get Span.stack in
+    let parent = match !stack with [] -> None | p :: _ -> Some p in
+    stack := id :: !stack;
+    let start = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        (* Pop even on exception so the failed span is still recorded
+           (its duration covers work up to the raise). *)
+        (match !stack with i :: rest when i = id -> stack := rest | _ -> ());
+        Span.record
+          { Span.id;
+            parent;
+            name;
+            domain = (Domain.self () :> int);
+            start_s = start -. Span.t0;
+            dur_s = Unix.gettimeofday () -. start })
+      f
+  end
+
+let timed h f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () -> Histogram.observe h (Unix.gettimeofday () -. t0))
+      f
+  end
+
+let span_summary () =
+  let spans = Span.all () in
+  if spans = [] then None
+  else begin
+    let order = ref [] in
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (sp : Span.t) ->
+        match Hashtbl.find_opt tbl sp.Span.name with
+        | Some (calls, total) ->
+            Hashtbl.replace tbl sp.Span.name (calls + 1, total +. sp.Span.dur_s)
+        | None ->
+            Hashtbl.add tbl sp.Span.name (1, sp.Span.dur_s);
+            order := sp.Span.name :: !order)
+      spans;
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "trace spans (calls, total wall time):\n";
+    List.iter
+      (fun name ->
+        let calls, total = Hashtbl.find tbl name in
+        Printf.bprintf buf "  %-32s %7d  %10.3f s\n" name calls total)
+      (List.rev !order);
+    Buffer.contents buf |> Option.some
+  end
+
+(* Run manifests ---------------------------------------------------------- *)
+
+module Manifest = struct
+  let schema_version = "nontree-obs-v1"
+
+  let git_describe () =
+    match
+      let ic =
+        Unix.open_process_in "git describe --always --dirty 2>/dev/null"
+      in
+      let line = try input_line ic with End_of_file -> "" in
+      (Unix.close_process_in ic, line)
+    with
+    | Unix.WEXITED 0, line when line <> "" -> line
+    | _ | (exception _) -> "unknown"
+
+  let json_of_span (sp : Span.t) =
+    Json.Obj
+      [ ("name", Json.String sp.Span.name);
+        ("id", Json.Int sp.Span.id);
+        ( "parent",
+          match sp.Span.parent with
+          | None -> Json.Null
+          | Some p -> Json.Int p );
+        ("domain", Json.Int sp.Span.domain);
+        ("start_s", Json.Float sp.Span.start_s);
+        ("dur_s", Json.Float sp.Span.dur_s) ]
+
+  let json_of_histogram (v : Histogram.view) =
+    Json.Obj
+      [ ( "buckets",
+          Json.List
+            (List.map (fun b -> Json.Float b) (Array.to_list v.Histogram.view_bounds))
+        );
+        ( "counts",
+          Json.List
+            (List.map (fun c -> Json.Int c) (Array.to_list v.Histogram.view_counts))
+        );
+        ("count", Json.Int v.Histogram.count);
+        ("sum", Json.Float v.Histogram.total) ]
+
+  let to_json ?(argv = []) ?(meta = []) ?(extra = []) () =
+    Json.Obj
+      ([ ("schema", Json.String schema_version);
+         ("git", Json.String (git_describe ()));
+         ("argv", Json.List (List.map (fun a -> Json.String a) argv));
+         ("meta", Json.Obj meta);
+         ( "counters",
+           Json.Obj
+             (List.map (fun (n, v) -> (n, Json.Int v)) (Counter.snapshot ())) );
+         ( "histograms",
+           Json.Obj
+             (List.map
+                (fun (n, v) -> (n, json_of_histogram v))
+                (Histogram.snapshot ())) );
+         ("spans", Json.List (List.map json_of_span (Span.all ()))) ]
+      @ extra)
+
+  let write ~path ?argv ?meta ?extra () =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Json.to_string (to_json ?argv ?meta ?extra ())))
+end

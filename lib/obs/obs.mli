@@ -1,0 +1,168 @@
+(** Observability: metrics registry, tracing spans, run manifests.
+
+    One process-wide, domain-safe subsystem behind every counter the
+    harness reports: named atomic counters and fixed-bucket histograms
+    (the metrics registry), lightweight wall-time tracing spans with
+    per-domain parent/child nesting, and a writer that serialises the
+    whole lot — plus caller-supplied run metadata — to a JSON manifest
+    with schema [nontree-obs-v1].
+
+    {b Cost model.} Counters are bare atomics, exactly what the ad-hoc
+    tallies they replaced cost, and are always live (the robustness and
+    cache summaries depend on them regardless of flags). Spans and
+    histogram observations are gated on one [Atomic.get] of the global
+    enabled flag and are no-ops when observability is off, so
+    instrumented hot paths pay a single atomic load unless [--trace] or
+    [--metrics-json] enabled recording. Nothing here ever writes to
+    stdout: table output is byte-identical with observability on or
+    off. *)
+
+val set_enabled : bool -> unit
+(** Turn span recording and histogram observation on or off (off at
+    start-up). Counters tally regardless. *)
+
+val enabled : unit -> bool
+(** Current state of the flag — use to guard argument preparation that
+    would itself cost something (e.g. a [List.length] feeding
+    {!Histogram.observe}). *)
+
+(** Minimal JSON values: enough to write and re-read manifests without
+    any external dependency. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Pretty-printed with two-space indentation and a trailing newline.
+      Finite floats round-trip exactly ([%.17g], integral values as
+      ["x.0"]); non-finite floats print as [null]. *)
+
+  val of_string : string -> (t, string) result
+  (** Strict parser for the subset {!to_string} emits plus standard
+      escapes (including [\uXXXX] for BMP scalars). *)
+
+  val member : string -> t -> t option
+  (** [member k (Obj kvs)] is the value bound to [k]; [None] on missing
+      keys and non-objects. *)
+end
+
+(** Named monotonic counters. *)
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Register (or look up — [make] is idempotent) the counter named
+      [name]. Registration takes a lock; do it at module init, not on
+      the hot path. *)
+
+  val name : t -> string
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+
+  val set : t -> int -> unit
+  (** Reset support for tests and per-run zeroing. *)
+
+  val snapshot : unit -> (string * int) list
+  (** Every registered counter with its current value, sorted by name. *)
+end
+
+(** Fixed-bucket histograms. *)
+module Histogram : sig
+  type t
+
+  type view = {
+    view_name : string;
+    view_bounds : float array;
+    view_counts : int array;  (** one per bound, plus a final overflow *)
+    count : int;
+    total : float;
+  }
+
+  val make : string -> buckets:float array -> t
+  (** [buckets] are strictly increasing inclusive upper bounds; a last
+      implicit overflow bucket catches everything above. Idempotent per
+      name (the first registration's buckets win).
+      @raise Invalid_argument on empty or non-increasing buckets. *)
+
+  val observe : t -> float -> unit
+  (** Record one sample — a no-op unless {!enabled}. *)
+
+  val view : t -> view
+  val reset : t -> unit
+  val snapshot : unit -> (string * view) list
+end
+
+(** Completed tracing spans. *)
+module Span : sig
+  type t = {
+    id : int;
+    parent : int option;
+        (** the enclosing span {e on the same domain}, if any *)
+    name : string;
+    domain : int;  (** [Domain.self] of the domain that ran it *)
+    start_s : float;  (** seconds since process start *)
+    dur_s : float;
+  }
+
+  val all : unit -> t list
+  (** Completed spans in completion order. *)
+
+  val find : string -> t option
+  (** Most recently completed span with that name. *)
+
+  val reset : unit -> unit
+end
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and, when {!enabled}, records a {!Span.t}
+    with its wall time, the current domain, and the enclosing span on
+    this domain as parent. Exceptions propagate; the interrupted span
+    is still recorded. When disabled this is [f ()] after one atomic
+    load. *)
+
+val timed : Histogram.t -> (unit -> 'a) -> 'a
+(** [timed h f] runs [f] and, when {!enabled}, observes its wall time
+    in seconds into [h] (even when [f] raises). When disabled this is
+    [f ()] after one atomic load. *)
+
+val span_summary : unit -> string option
+(** Multi-line per-name aggregate (call count, total wall seconds) in
+    first-seen order, or [None] when no spans were recorded — what
+    [--trace] prints to stderr. *)
+
+(** Serialising a run to a [nontree-obs-v1] JSON manifest. *)
+module Manifest : sig
+  val schema_version : string
+  (** ["nontree-obs-v1"]. *)
+
+  val git_describe : unit -> string
+  (** [git describe --always --dirty] of the working directory, or
+      ["unknown"] outside a repository. *)
+
+  val to_json :
+    ?argv:string list ->
+    ?meta:(string * Json.t) list ->
+    ?extra:(string * Json.t) list ->
+    unit ->
+    Json.t
+  (** The manifest object: [schema], [git], [argv], [meta] (run
+      parameters the caller supplies: seed, flags, technology), the
+      registry ([counters], [histograms]), [spans], and any [extra]
+      top-level sections (e.g. cache statistics). *)
+
+  val write :
+    path:string ->
+    ?argv:string list ->
+    ?meta:(string * Json.t) list ->
+    ?extra:(string * Json.t) list ->
+    unit ->
+    unit
+  (** {!to_json} pretty-printed to [path]. *)
+end

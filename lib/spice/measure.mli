@@ -9,7 +9,10 @@ val first_crossing :
   times:float array -> values:float array -> level:float -> float option
 (** First time the waveform reaches [level] from below, linearly
     interpolated; [None] when it never does. A sample exactly at
-    [level] counts. *)
+    [level] counts (including the first one). A waveform that {e
+    starts above} [level] reports no crossing until it first dips
+    below and rises through it again — never the spurious
+    [times.(0)]. *)
 
 val final_value : values:float array -> float
 (** Last sample. @raise Invalid_argument on an empty waveform. *)
@@ -25,4 +28,6 @@ val rise_time :
 (** 10 %–90 % rise time, when both crossings exist. *)
 
 val overshoot : values:float array -> vfinal:float -> float
-(** max(0, peak − vfinal): nonzero only in underdamped RLC responses. *)
+(** max(0, peak − vfinal): nonzero only in underdamped RLC responses.
+    @raise Invalid_argument on an empty waveform (like
+    {!final_value}), instead of a silent 0. *)

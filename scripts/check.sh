@@ -31,4 +31,10 @@ dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 --jobs 2 \
   > "$tmpdir/jobs2.out" 2>/dev/null
 diff -u "$tmpdir/seq.out" "$tmpdir/jobs2.out"
 
+echo "== smoke: observability manifest is valid, stdout unchanged =="
+dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 --jobs 2 \
+  --metrics-json "$tmpdir/obs.json" > "$tmpdir/obs.out" 2>/dev/null
+dune exec bin/obs_check.exe -- "$tmpdir/obs.json"
+diff -u "$tmpdir/seq.out" "$tmpdir/obs.out"
+
 echo "all checks passed"
