@@ -174,8 +174,10 @@ let hit_rate s =
   let total = s.cache_hits + s.cache_misses in
   if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total
 
-let json_of_stats ~jobs ~cache_enabled ~seed ~trials ~sizes ~total_wall_s
-    sections =
+let counter_value name = Obs.Counter.value (Obs.Counter.make name)
+
+let json_of_stats ~jobs ~cache_enabled ~incremental_enabled ~seed ~trials
+    ~sizes ~total_wall_s sections =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"nontree-bench-v1\",\n";
@@ -186,6 +188,21 @@ let json_of_stats ~jobs ~cache_enabled ~seed ~trials ~sizes ~total_wall_s
   Printf.bprintf buf "  \"sizes\": [%s],\n"
     (String.concat ", " (List.map string_of_int sizes));
   Printf.bprintf buf "  \"total_wall_s\": %.3f,\n" total_wall_s;
+  (* Run-level incremental-scoring tallies: how many Woodbury updates
+     were built, how many candidate evaluations they served, how often
+     the robust path had to take over, and the full factorization count
+     they are meant to suppress. *)
+  Printf.bprintf buf "  \"incremental\": {\n";
+  Printf.bprintf buf "    \"enabled\": %b,\n" incremental_enabled;
+  Printf.bprintf buf "    \"rank1_updates\": %d,\n"
+    (counter_value "lu.rank1_updates");
+  Printf.bprintf buf "    \"hits\": %d,\n"
+    (counter_value "oracle.incremental_hits");
+  Printf.bprintf buf "    \"fallbacks\": %d,\n"
+    (counter_value "oracle.incremental_fallbacks");
+  Printf.bprintf buf "    \"lu_factorizations\": %d\n"
+    (counter_value "lu.factorizations");
+  Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"sections\": [\n";
   List.iteri
     (fun i s ->
@@ -212,6 +229,7 @@ let () =
   let svg_dir = ref "figures" in
   let jobs = ref 1 in
   let no_cache = ref false in
+  let no_incremental = ref false in
   let bench_json = ref "BENCH_nontree.json" in
   let metrics_json = ref "" in
   let spec =
@@ -231,6 +249,9 @@ let () =
         "N  worker domains; table contents are identical for any value \
          (default 1)" );
       ("--no-cache", Arg.Set no_cache, "  disable the oracle memo cache");
+      ( "--no-incremental",
+        Arg.Set no_incremental,
+        "  disable incremental (Woodbury) candidate scoring" );
       ( "--bench-json",
         Arg.Set_string bench_json,
         "PATH  machine-readable per-section stats (default \
@@ -276,6 +297,7 @@ let () =
   Obs.set_enabled true;
   Nontree.Oracle.Cache.reset ();
   Nontree.Oracle.Cache.set_enabled (not !no_cache);
+  Nontree.Incremental.set_enabled (not !no_incremental);
   let wanted =
     if !only = "" then
       [ "1"; "2"; "3"; "4"; "5"; "6"; "7"; "figures"; "ext"; "bechamel" ]
@@ -318,8 +340,9 @@ let () =
   Printf.printf "seed %d, %d trials per size, sizes [%s], eval model %s\n"
     !seed !trials !sizes
     (Delay.Model.name config.Nontree.Experiment.eval_model);
-  Printf.printf "jobs %d, oracle cache %s\n\n" !jobs
-    (if !no_cache then "off" else "on");
+  Printf.printf "jobs %d, oracle cache %s, incremental scoring %s\n\n" !jobs
+    (if !no_cache then "off" else "on")
+    (if !no_incremental then "off" else "on");
   let run_t0 = Unix.gettimeofday () in
   section "1" (fun () -> run_table1 config);
   section "2" (fun () -> run_table2 config);
@@ -334,7 +357,8 @@ let () =
   let total_wall_s = Unix.gettimeofday () -. run_t0 in
   if !bench_json <> "" then begin
     let json =
-      json_of_stats ~jobs:!jobs ~cache_enabled:(not !no_cache) ~seed:!seed
+      json_of_stats ~jobs:!jobs ~cache_enabled:(not !no_cache)
+        ~incremental_enabled:(not !no_incremental) ~seed:!seed
         ~trials:!trials ~sizes:size_list ~total_wall_s
         (List.rev !stats)
     in
@@ -354,6 +378,7 @@ let () =
             ("trials", Int !trials);
             ("sizes", List (List.map (fun s -> Int s) size_list));
             ("cache_enabled", Bool (not !no_cache));
+            ("incremental_enabled", Bool (not !no_incremental));
             ("eval_model",
              String (Delay.Model.name config.Nontree.Experiment.eval_model)) ]
       ~extra:

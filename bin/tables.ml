@@ -88,14 +88,16 @@ let dispatch config table figure ext svg_dir =
 
 (* Everything the manifest needs to reproduce the run: the knobs that
    feed [config_of] plus the fault and cache switches. *)
-let manifest_meta ~trials ~sizes ~seed ~jobs ~fault_rate ~no_cache =
+let manifest_meta ~trials ~sizes ~seed ~jobs ~fault_rate ~no_cache
+    ~no_incremental =
   Obs.Json.
     [ ("seed", Int seed);
       ("jobs", Int jobs);
       ("trials", Int trials);
       ("sizes", List (List.map (fun s -> Int s) sizes));
       ("fault_rate", Float fault_rate);
-      ("cache_enabled", Bool (not no_cache)) ]
+      ("cache_enabled", Bool (not no_cache));
+      ("incremental_enabled", Bool (not no_incremental)) ]
 
 let write_manifest ~path ~meta =
   let s = Nontree.Oracle.Cache.stats () in
@@ -114,7 +116,7 @@ let write_manifest ~path ~meta =
   Printf.eprintf "wrote metrics manifest %s\n%!" path
 
 let run table figure ext trials sizes seed svg_dir fault_rate fault_seed
-    jobs no_cache metrics_json trace log_level =
+    jobs no_cache no_incremental metrics_json trace log_level =
   Logs.set_reporter (Logs.format_reporter ~dst:Format.err_formatter ());
   Logs.set_level log_level;
   if jobs < 1 then `Error (false, "--jobs must be >= 1")
@@ -123,6 +125,7 @@ let run table figure ext trials sizes seed svg_dir fault_rate fault_seed
     Nontree_error.Counters.reset ();
     Nontree.Oracle.Cache.reset ();
     Nontree.Oracle.Cache.set_enabled (not no_cache);
+    Nontree.Incremental.set_enabled (not no_incremental);
     if fault_rate > 0.0 then
       (* Derive the fault schedule from the experiment seed unless pinned,
          so --seed alone reproduces the whole run, faults included. *)
@@ -150,7 +153,9 @@ let run table figure ext trials sizes seed svg_dir fault_rate fault_seed
     (match metrics_json with
     | Some path ->
         write_manifest ~path
-          ~meta:(manifest_meta ~trials ~sizes ~seed ~jobs ~fault_rate ~no_cache)
+          ~meta:
+            (manifest_meta ~trials ~sizes ~seed ~jobs ~fault_rate ~no_cache
+               ~no_incremental)
     | None -> ());
     result
   end
@@ -226,6 +231,15 @@ let no_cache =
           "Disable the oracle memo cache (enabled by default; cached runs \
            print the same bytes, a hit/miss summary goes to stderr).")
 
+let no_incremental =
+  Arg.(
+    value & flag
+    & info [ "no-incremental" ]
+        ~doc:
+          "Disable incremental (rank-1 Woodbury) candidate scoring in the \
+           greedy loops (enabled by default; incremental runs print the \
+           same bytes, only factorisation counts change).")
+
 let metrics_json =
   Arg.(
     value
@@ -268,7 +282,7 @@ let cmd =
     Term.(
       ret
         (const run $ table $ figure $ ext $ trials $ sizes $ seed $ svg_dir
-        $ fault_rate $ fault_seed $ jobs $ no_cache $ metrics_json $ trace
-        $ log_level))
+        $ fault_rate $ fault_seed $ jobs $ no_cache $ no_incremental
+        $ metrics_json $ trace $ log_level))
 
 let () = exit (Cmd.eval cmd)

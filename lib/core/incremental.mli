@@ -1,0 +1,40 @@
+(** Incremental (rank-1 Woodbury) candidate scoring for the greedy
+    loops.
+
+    A greedy round scores every absent edge against one base routing.
+    Instead of rebuilding and re-factoring the moment / MNA systems per
+    candidate, this module factors the base once per round and treats
+    each candidate wire as a low-rank update ({!Numeric.Lu.Update},
+    {!Spice.Mna.Delta}): first/second moments and the SPICE operating
+    and settled states become O(n²) solves. Only the transient
+    companion matrix — tied to the candidate's own horizon-derived
+    timestep — is still factored fresh.
+
+    Every incremental evaluation consults {!Oracle.Cache} first and
+    publishes its result there, so measurement replays and cached runs
+    behave identically with the scorer on or off. Degenerate updates,
+    injected faults, and unsettled probes fall back to the ordinary
+    robust objective, counted under [oracle.incremental_fallbacks]. *)
+
+val set_enabled : bool -> unit
+(** Off by default (library semantics unchanged); the binaries enable
+    it unless [--no-incremental] is given. *)
+
+val enabled : unit -> bool
+
+val make_scorer :
+  model:Delay.Model.t ->
+  tech:Circuit.Technology.t ->
+  fallback:(Routing.t -> float) ->
+  Routing.t ->
+  (int * int -> Routing.t -> float) option
+(** [make_scorer ~model ~tech ~fallback base] prepares one greedy
+    round: factor [base]'s systems once and return a per-candidate
+    scorer [score (u, v) trial] giving the max sink delay of [trial] =
+    [base] plus edge [(u, v)]. Returns [None] — meaning "use the plain
+    objective for this round" — when scoring is disabled, the model is
+    unsupported ([Elmore_tree], RLC SPICE), or the base system fails to
+    factor. On any per-candidate failure the scorer evaluates
+    [fallback trial] instead; pass the same guarded objective the round
+    uses for non-incremental evaluations so failure semantics and
+    counters match exactly. *)

@@ -22,7 +22,7 @@ let candidates_per_iteration =
 
 let run_objective ?(pool = Pool.sequential) ?(max_edges = max_int)
     ?(min_improvement = 1e-9) ?(candidates = Routing.candidate_edges)
-    ~objective initial =
+    ?(scorer = fun _ -> None) ~objective initial =
   let evaluations = Atomic.make 0 in
   let eval r =
     Atomic.incr evaluations;
@@ -40,12 +40,23 @@ let run_objective ?(pool = Pool.sequential) ?(max_edges = max_int)
       if Obs.enabled () then
         Obs.Histogram.observe candidates_per_iteration
           (float_of_int (List.length cands));
+      (* One round, one scorer: the incremental path factors [current]
+         once here and each candidate below is a low-rank solve. [None]
+         means this round runs on the plain objective. *)
+      let edge_score = scorer current in
+      let eval_candidate edge trial =
+        match edge_score with
+        | Some score ->
+            Atomic.incr evaluations;
+            score edge trial
+        | None -> eval trial
+      in
       let scored =
         Obs.span "ldrg.iteration" (fun () ->
             Pool.map pool
               (fun (u, v) ->
                 let trial = Routing.add_edge current u v in
-                ((u, v), trial, eval trial))
+                ((u, v), trial, eval_candidate (u, v) trial))
               cands)
       in
       let best =
@@ -76,9 +87,10 @@ let run_objective ?(pool = Pool.sequential) ?(max_edges = max_int)
     evaluations = Atomic.get evaluations }
 
 let run ?pool ?max_edges ?candidates ~model ~tech initial =
+  let objective = Oracle.objective ~model ~tech in
   run_objective ?pool ?max_edges ?candidates
-    ~objective:(Oracle.objective ~model ~tech)
-    initial
+    ~scorer:(Incremental.make_scorer ~model ~tech ~fallback:objective)
+    ~objective initial
 
 let run_budgeted ?pool ?max_edges ~max_cost_ratio ~model ~tech initial =
   if max_cost_ratio < 1.0 then
@@ -91,9 +103,10 @@ let run_budgeted ?pool ?max_edges ~max_cost_ratio ~model ~tech initial =
         Geom.Point.manhattan (Routing.point r u) (Routing.point r v) <= slack)
       (Routing.candidate_edges r)
   in
+  let objective = Oracle.objective ~model ~tech in
   run_objective ?pool ?max_edges ~candidates
-    ~objective:(Oracle.objective ~model ~tech)
-    initial
+    ~scorer:(Incremental.make_scorer ~model ~tech ~fallback:objective)
+    ~objective initial
 
 let routing_after trace k =
   let rec apply r steps k =

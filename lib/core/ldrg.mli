@@ -34,6 +34,7 @@ val run_objective :
   ?max_edges:int ->
   ?min_improvement:float ->
   ?candidates:(Routing.t -> (int * int) list) ->
+  ?scorer:(Routing.t -> (int * int -> Routing.t -> float) option) ->
   objective:(Routing.t -> float) ->
   Routing.t ->
   trace
@@ -42,6 +43,14 @@ val run_objective :
     relative improvement an addition must achieve to be taken (default
     1e-9, guarding against float noise); [candidates] defaults to
     {!Routing.candidate_edges} — every absent vertex pair.
+
+    [scorer] is called once per iteration with the iteration's base
+    routing; when it returns [Some score], every candidate of that
+    iteration is evaluated as [score edge trial] instead of
+    [objective trial] (the incremental Woodbury path of
+    {!Incremental.make_scorer}). The default returns [None] — all
+    evaluations go through [objective]. Either way each candidate
+    counts one evaluation.
 
     [pool] (default {!Pool.sequential}) scores the candidate edges of
     each iteration concurrently. The selection is deterministic for any

@@ -133,6 +133,25 @@ module Cache = struct
     if Hashtbl.length table < Atomic.get capacity then Hashtbl.replace table k ds;
     Mutex.unlock lock
 
+  (* External producers (the incremental scorer) publish through the
+     same key and counters the memoised oracle uses, so a routing
+     scored incrementally is a later cache hit for the measurement
+     replays, exactly as a robust-path evaluation would have been. *)
+  let find_delays ~model ~tech r =
+    if not (Atomic.get enabled_flag) then None
+    else begin
+      match find (key ~model ~tech r) with
+      | Some ds ->
+          Obs.Counter.incr hits;
+          Some ds
+      | None ->
+          Obs.Counter.incr misses;
+          None
+    end
+
+  let store_delays ~model ~tech r ds =
+    if Atomic.get enabled_flag then store (key ~model ~tech r) ds
+
   let sink_delays ~model ~tech r =
     if not (Atomic.get enabled_flag) then
       Delay.Robust.sink_delays_exn ~model ~tech r

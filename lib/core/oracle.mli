@@ -63,6 +63,25 @@ module Cache : sig
       rate reads "n/a" (never NaN) when the cache saw no traffic;
       [None] only when the cache is disabled and idle. *)
 
+  val find_delays :
+    model:Delay.Model.t ->
+    tech:Circuit.Technology.t ->
+    Routing.t ->
+    (int * float) list option
+  (** Cache lookup without evaluation (always [None] when disabled),
+      counting the hit or miss. The incremental scorer probes here
+      before doing any work. *)
+
+  val store_delays :
+    model:Delay.Model.t ->
+    tech:Circuit.Technology.t ->
+    Routing.t ->
+    (int * float) list ->
+    unit
+  (** Publish sink delays computed outside {!sink_delays} (the
+      incremental scorer) under the same key; a no-op when the cache
+      is disabled. *)
+
   val sink_delays :
     model:Delay.Model.t ->
     tech:Circuit.Technology.t ->

@@ -18,6 +18,16 @@ let segments_for seg length =
 let source_node_name = "n0"
 let vertex_node_name i = Printf.sprintf "n%d" i
 
+(* The single source of truth for how one wire lowers to π-segments:
+   both the full netlist builder below and the incremental stamp-delta
+   path must derive bit-identical per-segment R and C values. *)
+let pi_segments ~segmentation ~tech ~length ~width =
+  let n_seg = segments_for segmentation length in
+  let seg_len = length /. float_of_int n_seg in
+  let seg_r = Technology.wire_resistance_of tech ~length:seg_len ~width in
+  let seg_c = Technology.wire_capacitance_of tech ~length:seg_len ~width in
+  (n_seg, seg_r, seg_c)
+
 let default_input = Waveform.Step { t0 = 0.0; v0 = 0.0; v1 = 1.0 }
 
 let circuit_of_routing ?(segmentation = default_segmentation)
@@ -47,10 +57,8 @@ let circuit_of_routing ?(segmentation = default_segmentation)
     (fun (e : Graphs.Wgraph.edge) ->
       let width = Routing.width r e.u e.v in
       let length = e.w in
-      let n_seg = segments_for segmentation length in
+      let n_seg, seg_r, seg_c = pi_segments ~segmentation ~tech ~length ~width in
       let seg_len = length /. float_of_int n_seg in
-      let seg_r = Technology.wire_resistance_of tech ~length:seg_len ~width in
-      let seg_c = Technology.wire_capacitance_of tech ~length:seg_len ~width in
       let seg_l = Technology.wire_inductance_of tech ~length:seg_len in
       let prefix = Printf.sprintf "e%d_%d" e.u e.v in
       let nodes =

@@ -25,6 +25,17 @@ val source_node_name : string
 val vertex_node_name : int -> string
 (** ["n<i>"] — the circuit node of routing vertex [i]. *)
 
+val pi_segments :
+  segmentation:segmentation ->
+  tech:Circuit.Technology.t ->
+  length:float ->
+  width:float ->
+  int * float * float
+(** [(n_seg, seg_r, seg_c)] for one wire: the segment count and the
+    per-segment resistance and capacitance, computed exactly as
+    {!circuit_of_routing} stamps them — the incremental oracle uses
+    this to stamp an added wire without rebuilding the netlist. *)
+
 val circuit_of_routing :
   ?segmentation:segmentation ->
   ?include_inductance:bool ->

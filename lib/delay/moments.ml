@@ -70,9 +70,7 @@ let higher_moments ~tech r ~order =
   done;
   result
 
-let two_pole_delay ~tech r =
-  let moments = higher_moments ~tech r ~order:2 in
-  let m1 = moments.(0) and m2 = moments.(1) in
+let two_pole_fit ~m1 ~m2 =
   Array.init (Array.length m1) (fun v ->
       (* Fit exp(-s*delta)/(1+s*tau): matching series coefficients
          gives tau = sqrt(2 m2 - m1^2), delta = m1 - tau. *)
@@ -83,3 +81,7 @@ let two_pole_delay ~tech r =
         if tau >= m1.(v) then m1.(v) *. log 2.0
         else (m1.(v) -. tau) +. (tau *. log 2.0)
       end)
+
+let two_pole_delay ~tech r =
+  let moments = higher_moments ~tech r ~order:2 in
+  two_pole_fit ~m1:moments.(0) ~m2:moments.(1)

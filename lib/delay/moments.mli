@@ -14,6 +14,19 @@
     On trees this coincides exactly with {!Elmore.delays}, which is a
     tested invariant of the repository. *)
 
+val node_capacitances : tech:Circuit.Technology.t -> Routing.t -> float array
+(** The right-hand side c: per-vertex capacitance under the π model —
+    pin loads plus half of every incident wire's capacitance. Exposed
+    for the incremental oracle, which adjusts it by a candidate wire's
+    half-capacitances instead of rebuilding. *)
+
+val conductance_matrix :
+  tech:Circuit.Technology.t -> Routing.t -> Numeric.Matrix.t
+(** The system matrix G: wire conductances plus the driver conductance
+    on the source diagonal, over all vertices. A candidate wire is one
+    symmetric rank-1 term on top of this — the incremental oracle
+    factors it once per greedy round. *)
+
 val first_moments : tech:Circuit.Technology.t -> Routing.t -> float array
 (** Per-vertex first moment (the generalised Elmore delay), for any
     connected routing graph.
@@ -32,6 +45,12 @@ val higher_moments :
     m_{k+1} = G⁻¹·C·m_k. Used by the two-pole delay estimate.
 
     @raise Invalid_argument when [order < 1]. *)
+
+val two_pole_fit : m1:float array -> m2:float array -> float array
+(** The two-pole 50 %-threshold fit from given first and second
+    moments — the per-vertex formula {!two_pole_delay} applies, split
+    out so incrementally updated moments go through the identical
+    arithmetic. *)
 
 val two_pole_delay : tech:Circuit.Technology.t -> Routing.t -> float array
 (** 50 %-threshold delay estimate per vertex from the first two

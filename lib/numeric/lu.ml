@@ -24,10 +24,15 @@ let pivot_floor = 1e-300
    all-tiny matrices. *)
 let relative_pivot_threshold = 1e-13
 
-let try_factor m =
+(* [count:false] keeps the tiny k×k capacitance-matrix factorisations
+   of [Update] out of [lu.factorizations]: that counter is the "full
+   system factored" work metric, and the whole point of the low-rank
+   path is that it avoids those. Update work is tallied separately
+   under [lu.rank1_updates]. *)
+let try_factor_gen ~count m =
   let n = Matrix.rows m in
   if Matrix.cols m <> n then invalid_arg "Lu.factor: matrix not square";
-  Obs.Counter.incr factorizations;
+  if count then Obs.Counter.incr factorizations;
   let a = Array.make (n * n) 0.0 in
   let amax = ref 0.0 and finite = ref true in
   let col_sums = Array.make n 0.0 in
@@ -42,7 +47,7 @@ let try_factor m =
     done
   done;
   if not !finite then begin
-    Obs.Counter.incr singular_factorizations;
+    if count then Obs.Counter.incr singular_factorizations;
     Error (-1)
   end
   else begin
@@ -91,22 +96,28 @@ let try_factor m =
      with Exit -> ());
     match !result with
     | Some err ->
-        Obs.Counter.incr singular_factorizations;
+        if count then Obs.Counter.incr singular_factorizations;
         err
     | None ->
         Ok
           { n; lu = a; perm; sign = !sign; scratch = Array.make n 0.0; anorm1 }
   end
 
+let try_factor m = try_factor_gen ~count:true m
+
 let factor m =
   match try_factor m with Ok t -> t | Error k -> raise (Singular k)
 
-let solve_in_place t b =
+(* [work] is the intermediate-vector buffer. [solve_in_place] passes
+   the factorisation's own scratch; the low-rank [Update] solver passes
+   a private buffer instead, so a base factorisation shared between
+   worker domains stays read-only during its solves. *)
+let solve_with ~work t b =
   let n = t.n in
   if Array.length b <> n then invalid_arg "Lu.solve: length mismatch";
   let lu = t.lu in
   (* Apply permutation. *)
-  let y = t.scratch in
+  let y = work in
   for i = 0 to n - 1 do
     y.(i) <- b.(t.perm.(i))
   done;
@@ -129,6 +140,8 @@ let solve_in_place t b =
     Array.unsafe_set y i (!s /. Array.unsafe_get lu (row + i))
   done;
   Array.blit y 0 b 0 n
+
+let solve_in_place t b = solve_with ~work:t.scratch t b
 
 let solve t b =
   let x = Array.copy b in
@@ -228,3 +241,174 @@ let inverse m =
     done
   done;
   inv
+
+(* Low-rank (Sherman–Morrison–Woodbury) updates ------------------------- *)
+
+module Update = struct
+  (* M = [[A, 0], [0, 0]] + Σ_i α_i·u_i·v_iᵀ over n0+pad unknowns, where
+     A is the already-factored base. Internally the pad block carries a
+     γ·I placeholder (so the block matrix Â is invertible) cancelled by
+     explicit −γ·e_j·e_jᵀ terms, which turns the whole delta into plain
+     rank-1 algebra:
+
+       M⁻¹b = Â⁻¹b − Z·S⁻¹·Vᵀ·Â⁻¹b,  Z = Â⁻¹U,  S = C⁻¹ + Vᵀ·Z
+
+     with C = diag(α). Building an update costs k extended base solves
+     (O(k·n²)) plus one k×k factorisation; each [solve] is then O(n²)
+     with no full factorisation at all. *)
+
+  type nonrec t = {
+    base : t;
+    pad : int;
+    nt : int;  (* n0 + pad *)
+    k : int;  (* rank-1 terms, pad corrections included *)
+    gamma : float;  (* pad-block placeholder scale *)
+    z : float array;  (* nt×k, column c at offset c·nt: Â⁻¹·u_c *)
+    vmat : float array;  (* k×nt, row c = v_c *)
+    s_lu : t option;  (* capacitance-matrix factorisation; None iff k = 0 *)
+    headwork : float array;  (* n0: slice buffer for base solves *)
+    basework : float array;  (* n0: scratch handed to solve_with *)
+    kwork : float array;  (* k: the small solve's right-hand side *)
+  }
+
+  let rank1_updates = Obs.Counter.make "lu.rank1_updates"
+  let default_rcond_floor = 1e-10
+
+  (* Â x = b in place, Â = [[A, 0], [0, γI]]. *)
+  let ext_solve ~base ~pad ~gamma ~headwork ~basework b =
+    let n0 = Array.length headwork in
+    Array.blit b 0 headwork 0 n0;
+    solve_with ~work:basework base headwork;
+    Array.blit headwork 0 b 0 n0;
+    for j = 0 to pad - 1 do
+      b.(n0 + j) <- b.(n0 + j) /. gamma
+    done
+
+  let finite_term (a, u, v) =
+    Float.is_finite a
+    && Array.for_all Float.is_finite u
+    && Array.for_all Float.is_finite v
+
+  let make ?(pad = 0) ?(rcond_floor = default_rcond_floor) base terms =
+    if pad < 0 then invalid_arg "Lu.Update.make: negative pad";
+    let n0 = base.n in
+    let nt = n0 + pad in
+    List.iter
+      (fun (_, u, v) ->
+        if Array.length u <> nt || Array.length v <> nt then
+          invalid_arg "Lu.Update.make: term length mismatch")
+      terms;
+    let user_terms = List.filter (fun (a, _, _) -> a <> 0.0) terms in
+    if not (List.for_all finite_term user_terms) then None
+    else begin
+      (* Scale the pad placeholder like the stamps around it, so S does
+         not mix wildly different magnitudes for conditioning reasons
+         alone. *)
+      let gamma =
+        if pad = 0 then 1.0
+        else begin
+          let s =
+            List.fold_left
+              (fun acc (a, _, _) -> acc +. abs_float a)
+              0.0 user_terms
+          in
+          let m = List.length user_terms in
+          if m = 0 || s <= 0.0 then 1.0 else s /. float_of_int m
+        end
+      in
+      let pad_terms =
+        List.init pad (fun j ->
+            let e = Array.make nt 0.0 in
+            e.(n0 + j) <- 1.0;
+            (-.gamma, e, e))
+      in
+      let all = user_terms @ pad_terms in
+      let k = List.length all in
+      Obs.Counter.add rank1_updates k;
+      let headwork = Array.make n0 0.0 in
+      let basework = Array.make n0 0.0 in
+      if k = 0 then
+        Some
+          { base; pad; nt; k; gamma; z = [||]; vmat = [||]; s_lu = None;
+            headwork; basework; kwork = [||] }
+      else begin
+        let alpha = Array.of_list (List.map (fun (a, _, _) -> a) all) in
+        let z = Array.make (nt * k) 0.0 in
+        let vmat = Array.make (k * nt) 0.0 in
+        List.iteri
+          (fun c (_, u, v) ->
+            Array.blit v 0 vmat (c * nt) nt;
+            let col = Array.copy u in
+            ext_solve ~base ~pad ~gamma ~headwork ~basework col;
+            Array.blit col 0 z (c * nt) nt)
+          all;
+        (* S = C⁻¹ + Vᵀ·Z, tracking the largest magnitude that went
+           into any entry: a pivot tiny against that scale means the
+           updated matrix is numerically singular even though the
+           pivot itself is representable (classic Sherman–Morrison
+           denominator cancellation). *)
+        let s = Matrix.create k k in
+        let scale = ref 0.0 in
+        for r = 0 to k - 1 do
+          for c = 0 to k - 1 do
+            let diag = if r = c then 1.0 /. alpha.(r) else 0.0 in
+            let dot = ref 0.0 in
+            for i = 0 to nt - 1 do
+              dot := !dot +. (vmat.((r * nt) + i) *. z.((c * nt) + i))
+            done;
+            scale := Float.max !scale (Float.max (abs_float diag) (abs_float !dot));
+            Matrix.set s r c (diag +. !dot)
+          done
+        done;
+        match try_factor_gen ~count:false s with
+        | Error _ -> None
+        | Ok s_lu ->
+            let min_pivot = ref infinity in
+            for i = 0 to k - 1 do
+              min_pivot :=
+                Float.min !min_pivot (abs_float s_lu.lu.((i * k) + i))
+            done;
+            if
+              !min_pivot < rcond_floor *. !scale
+              || rcond s_lu < rcond_floor
+            then None
+            else
+              Some
+                { base; pad; nt; k; gamma; z; vmat; s_lu = Some s_lu;
+                  headwork; basework; kwork = Array.make k 0.0 }
+      end
+    end
+
+  let solve up b =
+    if Array.length b <> up.nt then
+      invalid_arg "Lu.Update.solve: length mismatch";
+    let x = Array.copy b in
+    ext_solve ~base:up.base ~pad:up.pad ~gamma:up.gamma ~headwork:up.headwork
+      ~basework:up.basework x;
+    (match up.s_lu with
+    | None -> ()
+    | Some s_lu ->
+        let nt = up.nt and k = up.k in
+        let w = up.kwork in
+        for c = 0 to k - 1 do
+          let acc = ref 0.0 in
+          for i = 0 to nt - 1 do
+            acc := !acc +. (up.vmat.((c * nt) + i) *. x.(i))
+          done;
+          w.(c) <- !acc
+        done;
+        (* The small factorisation is private to this update, so its
+           shared scratch is safe here. *)
+        solve_in_place s_lu w;
+        for i = 0 to nt - 1 do
+          let acc = ref 0.0 in
+          for c = 0 to k - 1 do
+            acc := !acc +. (up.z.((c * nt) + i) *. w.(c))
+          done;
+          x.(i) <- x.(i) -. !acc
+        done);
+    x
+
+  let rank up = up.k
+  let size up = up.nt
+end

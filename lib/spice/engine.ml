@@ -104,6 +104,81 @@ let transient ?options nl ~tstop ~probes =
   | Ok t -> t
   | Error e -> Nontree_error.raise_error e
 
+(* All supported settling waveforms (Step/Ramp/Pwl/Dc) are constant
+   after their last corner, so evaluating the sources this far beyond
+   the horizon gives the exact final DC values. *)
+let settled_time ~horizon = 1e6 *. horizon
+
+let threshold_scan_result ?(options = default_options) ?(fraction = 0.5) sys
+    ~idx ~x0 ~xf ~horizon =
+  if horizon <= 0.0 then
+    invalid_arg "Engine.threshold_scan: horizon must be positive";
+  let num_probes = Array.length idx in
+  let target =
+    Array.map (fun u -> x0.(u) +. (fraction *. (xf.(u) -. x0.(u)))) idx
+  in
+  let found = Array.make num_probes None in
+  let prev_v = Array.map (fun u -> x0.(u)) idx in
+  let remaining = ref num_probes in
+  (* Mark probes that already start at their target (degenerate). *)
+  Array.iteri
+    (fun p u ->
+      if x0.(u) >= target.(p) then begin
+        found.(p) <- Some 0.0;
+        decr remaining
+      end)
+    idx;
+  let dt = horizon /. float_of_int options.steps_per_chunk in
+  let x = ref x0 in
+  let t0 = ref 0.0 in
+  let extensions = ref 0 in
+  let chunk_steps = ref options.steps_per_chunk in
+  let failure = ref None in
+  while
+    !failure = None && !remaining > 0 && !extensions <= options.max_extensions
+  do
+    match
+      Transient.run sys ~method_:options.method_ ~x0:!x ~t0:!t0 ~dt
+        ~steps:!chunk_steps ~probes:idx
+    with
+    | exception Numeric.Lu.Singular k ->
+        failure := Some (singular_error ~stage:"spice.transient" k)
+    | chunk -> (
+        match check_finite ~stage:"spice.transient" chunk.Transient.final with
+        | Error e -> failure := Some e
+        | Ok () ->
+            for p = 0 to num_probes - 1 do
+              if found.(p) = None then begin
+                let col = chunk.Transient.states.(p) in
+                let rec scan s prev prev_t =
+                  if s >= Array.length col then prev_v.(p) <- prev
+                  else if col.(s) >= target.(p) then begin
+                    let v0 = prev and v1 = col.(s) in
+                    let t1 = chunk.Transient.times.(s) in
+                    let t_cross =
+                      if v1 = v0 then t1
+                      else
+                        prev_t
+                        +. ((target.(p) -. v0) /. (v1 -. v0) *. (t1 -. prev_t))
+                    in
+                    found.(p) <- Some t_cross;
+                    decr remaining
+                  end
+                  else scan (s + 1) col.(s) chunk.Transient.times.(s)
+                in
+                scan 0 prev_v.(p) !t0;
+                ()
+              end
+            done;
+            x := chunk.Transient.final;
+            t0 := !t0 +. (float_of_int !chunk_steps *. dt);
+            incr extensions;
+            (* Double the window each retry so n extensions cover
+               2^n horizons. *)
+            chunk_steps := !chunk_steps * 2)
+  done;
+  match !failure with Some e -> Error e | None -> Ok found
+
 let threshold_delays_result ?(options = default_options) ?(fraction = 0.5) nl
     ~probes ~horizon =
   if horizon <= 0.0 then
@@ -120,88 +195,19 @@ let threshold_delays_result ?(options = default_options) ?(fraction = 0.5) nl
       | exception Numeric.Lu.Singular k ->
           Error (singular_error ~stage:"spice.dc" k)
       | sys, idx, x0 ->
-          let num_probes = Array.length idx in
           let* () = check_finite ~stage:"spice.dc" x0 in
-          (* Final values: DC with sources settled. All supported settling
-             waveforms (Step/Ramp/Pwl/Dc) are constant after their last
-             corner, so evaluating far beyond the horizon is exact. *)
-          let t_settled = 1e6 *. horizon in
+          (* Final values: DC with sources settled. *)
+          let t_settled = settled_time ~horizon in
           let* xf =
             match Numeric.Lu.try_factor sys.Mna.g with
             | Error k -> Error (singular_error ~stage:"spice.settle" k)
             | Ok lu -> Ok (Numeric.Lu.solve lu (sys.Mna.rhs t_settled))
           in
           let* () = check_finite ~stage:"spice.settle" xf in
-          let target =
-            Array.map (fun u -> x0.(u) +. (fraction *. (xf.(u) -. x0.(u)))) idx
+          let* found =
+            threshold_scan_result ~options ~fraction sys ~idx ~x0 ~xf ~horizon
           in
-          let found = Array.make num_probes None in
-          let prev_v = Array.map (fun u -> x0.(u)) idx in
-          let remaining = ref num_probes in
-          (* Mark probes that already start at their target (degenerate). *)
-          Array.iteri
-            (fun p u ->
-              if x0.(u) >= target.(p) then begin
-                found.(p) <- Some 0.0;
-                decr remaining
-              end)
-            idx;
-          let dt = horizon /. float_of_int options.steps_per_chunk in
-          let x = ref x0 in
-          let t0 = ref 0.0 in
-          let extensions = ref 0 in
-          let chunk_steps = ref options.steps_per_chunk in
-          let failure = ref None in
-          while
-            !failure = None && !remaining > 0
-            && !extensions <= options.max_extensions
-          do
-            match
-              Transient.run sys ~method_:options.method_ ~x0:!x ~t0:!t0 ~dt
-                ~steps:!chunk_steps ~probes:idx
-            with
-            | exception Numeric.Lu.Singular k ->
-                failure := Some (singular_error ~stage:"spice.transient" k)
-            | chunk -> (
-                match
-                  check_finite ~stage:"spice.transient" chunk.Transient.final
-                with
-                | Error e -> failure := Some e
-                | Ok () ->
-                    for p = 0 to num_probes - 1 do
-                      if found.(p) = None then begin
-                        let col = chunk.Transient.states.(p) in
-                        let rec scan s prev prev_t =
-                          if s >= Array.length col then prev_v.(p) <- prev
-                          else if col.(s) >= target.(p) then begin
-                            let v0 = prev and v1 = col.(s) in
-                            let t1 = chunk.Transient.times.(s) in
-                            let t_cross =
-                              if v1 = v0 then t1
-                              else
-                                prev_t
-                                +. ((target.(p) -. v0) /. (v1 -. v0)
-                                   *. (t1 -. prev_t))
-                            in
-                            found.(p) <- Some t_cross;
-                            decr remaining
-                          end
-                          else scan (s + 1) col.(s) chunk.Transient.times.(s)
-                        in
-                        scan 0 prev_v.(p) !t0;
-                        ()
-                      end
-                    done;
-                    x := chunk.Transient.final;
-                    t0 := !t0 +. (float_of_int !chunk_steps *. dt);
-                    incr extensions;
-                    (* Double the window each retry so n extensions cover
-                       2^n horizons. *)
-                    chunk_steps := !chunk_steps * 2)
-          done;
-          (match !failure with
-          | Some e -> Error e
-          | None -> Ok (List.mapi (fun p name -> (name, found.(p))) probes)))
+          Ok (List.mapi (fun p name -> (name, found.(p))) probes))
 
 let threshold_delays ?options ?fraction nl ~probes ~horizon =
   match threshold_delays_result ?options ?fraction nl ~probes ~horizon with

@@ -63,6 +63,32 @@ val transient_result :
   probes:string list ->
   (Trace.t, Nontree_error.t) result
 
+val settled_time : horizon:float -> float
+(** The time at which every supported source waveform has reached its
+    final value — where the threshold targets' DC endpoint is
+    evaluated (10⁶ × horizon). *)
+
+val threshold_scan_result :
+  ?options:options ->
+  ?fraction:float ->
+  Mna.t ->
+  idx:int array ->
+  x0:float array ->
+  xf:float array ->
+  horizon:float ->
+  (float option array, Nontree_error.t) result
+(** The chunked threshold search on an already-built system: starting
+    from state [x0], integrate and extend (doubling the window up to
+    [max_extensions] times) until every probed unknown in [idx] crosses
+    [fraction] of the way from its initial to its settled value [xf];
+    probes that never cross report [None]. This is the core of
+    {!threshold_delays_result}, exposed so the incremental oracle can
+    run the identical scan on a rank-1-extended system without
+    rebuilding the netlist. No fault is injected here — the callers
+    own that draw.
+
+    @raise Invalid_argument on a non-positive [horizon]. *)
+
 val threshold_delays_result :
   ?options:options ->
   ?fraction:float ->

@@ -90,3 +90,98 @@ let build nl =
 let voltage sys x node =
   let u = sys.unknown_of_node.(node) in
   if u < 0 then 0.0 else x.(u)
+
+(* Stamp deltas ---------------------------------------------------------- *)
+
+module Delta = struct
+  type base = t
+
+  type stamp = { i : int; j : int; value : float }
+
+  type t = {
+    base_size : int;
+    mutable added : int;
+    mutable g_stamps : stamp list;  (* newest first *)
+    mutable c_stamps : stamp list;
+  }
+
+  let create (sys : base) =
+    { base_size = sys.size; added = 0; g_stamps = []; c_stamps = [] }
+
+  let size d = d.base_size + d.added
+  let added_unknowns d = d.added
+
+  let fresh_unknown d =
+    let u = d.base_size + d.added in
+    d.added <- d.added + 1;
+    u
+
+  let check_index d u =
+    if u < -1 || u >= size d then
+      invalid_arg "Mna.Delta: unknown index out of range"
+
+  let add_conductance d i j value =
+    check_index d i;
+    check_index d j;
+    d.g_stamps <- { i; j; value } :: d.g_stamps
+
+  let add_capacitance d i j value =
+    check_index d i;
+    check_index d j;
+    d.c_stamps <- { i; j; value } :: d.c_stamps
+
+  (* A two-terminal stamp between unknowns i and j is the symmetric
+     rank-1 term v·(e_i − e_j)(e_i − e_j)ᵀ; with one terminal grounded
+     it collapses to the diagonal term v·e_i·e_iᵀ. *)
+  let g_terms d =
+    let nt = size d in
+    List.filter_map
+      (fun { i; j; value } ->
+        if i < 0 && j < 0 then None
+        else begin
+          let w = Array.make nt 0.0 in
+          if i >= 0 then w.(i) <- 1.0;
+          if j >= 0 then w.(j) <- w.(j) -. 1.0;
+          Some (value, w, Array.copy w)
+        end)
+      (List.rev d.g_stamps)
+
+  let stamp m i j value =
+    if i >= 0 then Numeric.Matrix.add_to m i i value;
+    if j >= 0 then Numeric.Matrix.add_to m j j value;
+    if i >= 0 && j >= 0 then begin
+      Numeric.Matrix.add_to m i j (-.value);
+      Numeric.Matrix.add_to m j i (-.value)
+    end
+
+  let extend (sys : base) d =
+    if sys.size <> d.base_size then
+      invalid_arg "Mna.Delta.extend: delta built from a different system";
+    let nt = size d in
+    let grow src =
+      let dst = Numeric.Matrix.create nt nt in
+      for i = 0 to sys.size - 1 do
+        for j = 0 to sys.size - 1 do
+          let v = Numeric.Matrix.get src i j in
+          if v <> 0.0 then Numeric.Matrix.set dst i j v
+        done
+      done;
+      dst
+    in
+    let g = grow sys.g in
+    let c = grow sys.c in
+    List.iter (fun { i; j; value } -> stamp g i j value) (List.rev d.g_stamps);
+    List.iter (fun { i; j; value } -> stamp c i j value) (List.rev d.c_stamps);
+    let rhs t =
+      let b = sys.rhs t in
+      let out = Array.make nt 0.0 in
+      Array.blit b 0 out 0 sys.size;
+      out
+    in
+    { size = nt;
+      num_node_unknowns = sys.num_node_unknowns;
+      g;
+      c;
+      rhs;
+      unknown_of_node = sys.unknown_of_node }
+end

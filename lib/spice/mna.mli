@@ -25,3 +25,54 @@ val build : Circuit.Netlist.t -> t
 val voltage : t -> float array -> int -> float
 (** [voltage sys x node] extracts a node voltage from a solution
     vector; ground reads 0. *)
+
+(** Stamp deltas: the elements added on top of an already-built system,
+    kept symbolic instead of re-assembled.
+
+    A delta records two-terminal conductance/capacitance stamps between
+    existing unknowns, ground ([-1]) and freshly appended unknowns
+    (internal nodes of an added wire, numbered from [size] upward,
+    after every base unknown — node voltages of the base system keep
+    their indices). Consumers pick the representation they need:
+    {!g_terms} renders the static stamps as rank-1 update vectors for
+    {!Numeric.Lu.Update} (DC and settle solves without refactoring),
+    while {!extend} materialises the full extended system for the
+    transient, whose companion matrix depends on the timestep anyway. *)
+module Delta : sig
+  type mna := t
+
+  type t
+
+  val create : mna -> t
+  (** An empty delta over [sys]; records the base size. *)
+
+  val fresh_unknown : t -> int
+  (** Allocate one appended unknown and return its index. *)
+
+  val add_conductance : t -> int -> int -> float -> unit
+  (** [add_conductance d i j g] stamps a conductance between unknowns
+      [i] and [j] ([-1] for ground), as [Mna.build] does for a
+      resistor.
+      @raise Invalid_argument on an out-of-range index. *)
+
+  val add_capacitance : t -> int -> int -> float -> unit
+  (** Same for the reactive matrix (a capacitor). *)
+
+  val added_unknowns : t -> int
+  (** How many unknowns {!fresh_unknown} appended. *)
+
+  val size : t -> int
+  (** Extended system size: base size + added unknowns. *)
+
+  val g_terms : t -> (float * float array * float array) list
+  (** The static stamps as symmetric rank-1 terms over the extended
+      size, in stamping order — ready for [Numeric.Lu.Update.make]
+      with [pad = added_unknowns]. Ground-to-ground stamps vanish. *)
+
+  val extend : mna -> t -> mna
+  (** The extended system as a plain [Mna.t]: matrices grown and
+      stamped, right-hand side zero-padded, node→unknown map
+      unchanged.
+      @raise Invalid_argument when [d] was built from a system of a
+      different size. *)
+end

@@ -22,6 +22,9 @@ echo "== smoke: table 2, 2 worker domains + 5% fault injection =="
 dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 \
   --jobs 2 --fault-rate 0.05 --log-level error
 
+echo "== smoke: table 2, incremental scoring disabled =="
+dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 --no-incremental
+
 echo "== smoke: --jobs 2 table output matches sequential =="
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
@@ -30,6 +33,24 @@ dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 \
 dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 --jobs 2 \
   > "$tmpdir/jobs2.out" 2>/dev/null
 diff -u "$tmpdir/seq.out" "$tmpdir/jobs2.out"
+
+echo "== smoke: --no-incremental output matches incremental, jobs 1 and 2 =="
+dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 \
+  --no-incremental > "$tmpdir/noinc.out" 2>/dev/null
+diff -u "$tmpdir/seq.out" "$tmpdir/noinc.out"
+dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 --jobs 2 \
+  --no-incremental > "$tmpdir/noinc2.out" 2>/dev/null
+diff -u "$tmpdir/jobs2.out" "$tmpdir/noinc2.out"
+
+echo "== incremental scoring cuts LU factorizations at least 2x =="
+dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 \
+  --metrics-json "$tmpdir/m_on.json" > /dev/null 2>&1
+dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 \
+  --no-incremental --metrics-json "$tmpdir/m_off.json" > /dev/null 2>&1
+lu_on=$(sed -n 's/.*"lu.factorizations": \([0-9]*\).*/\1/p' "$tmpdir/m_on.json")
+lu_off=$(sed -n 's/.*"lu.factorizations": \([0-9]*\).*/\1/p' "$tmpdir/m_off.json")
+echo "lu.factorizations: incremental=$lu_on, plain=$lu_off"
+[ -n "$lu_on" ] && [ -n "$lu_off" ] && [ "$lu_off" -ge $((2 * lu_on)) ]
 
 echo "== smoke: observability manifest is valid, stdout unchanged =="
 dune exec bin/tables.exe -- --table 2 --trials 2 --sizes 5,10 --jobs 2 \

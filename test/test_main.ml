@@ -13,6 +13,7 @@ let () =
          Test_ert.suites;
          Test_nontree.suites;
          Test_pool.suites;
+         Test_prop.suites;
          Test_obs.suites;
          Test_harness.suites;
          Test_robust.suites;

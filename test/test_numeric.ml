@@ -238,6 +238,64 @@ let test_zmatrix_singular () =
   | exception Numeric.Zmatrix.Singular _ -> ()
   | _ -> Alcotest.fail "expected Singular"
 
+(* Rank-1 updates (Woodbury) over a factored base ----------------------- *)
+
+let test_lu_update_known () =
+  let a = Matrix.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let base = Lu.factor a in
+  (* M = A + e0·e0ᵀ = [[3,1],[1,3]]; M·[1,1] = [4,4]. *)
+  let u = [| 1.0; 0.0 |] in
+  match Lu.Update.make base [ (1.0, u, Array.copy u) ] with
+  | None -> Alcotest.fail "well-conditioned update reported degenerate"
+  | Some up ->
+      let x = Lu.Update.solve up [| 4.0; 4.0 |] in
+      Alcotest.(check (float 1e-12)) "x0" 1.0 x.(0);
+      Alcotest.(check (float 1e-12)) "x1" 1.0 x.(1);
+      Alcotest.(check int) "rank" 1 (Lu.Update.rank up);
+      Alcotest.(check int) "size" 2 (Lu.Update.size up)
+
+let test_lu_update_zero_alpha_dropped () =
+  let a = Matrix.of_arrays [| [| 2.0; 0.0 |]; [| 0.0; 4.0 |] |] in
+  let base = Lu.factor a in
+  let u = [| 1.0; 1.0 |] in
+  match Lu.Update.make base [ (0.0, u, Array.copy u) ] with
+  | None -> Alcotest.fail "zero-alpha update reported degenerate"
+  | Some up ->
+      Alcotest.(check int) "rank 0" 0 (Lu.Update.rank up);
+      let x = Lu.Update.solve up [| 2.0; 4.0 |] in
+      Alcotest.(check (float 1e-12)) "x0" 1.0 x.(0);
+      Alcotest.(check (float 1e-12)) "x1" 1.0 x.(1)
+
+let test_lu_update_pad () =
+  (* Base is 1x1 [[2]]; one padded unknown carrying only its own load:
+     M = [[2,0],[0,3]]. The γI placeholder must cancel exactly. *)
+  let base = Lu.factor (Matrix.of_arrays [| [| 2.0 |] |]) in
+  let e1 = [| 0.0; 1.0 |] in
+  match Lu.Update.make ~pad:1 base [ (3.0, e1, Array.copy e1) ] with
+  | None -> Alcotest.fail "padded update reported degenerate"
+  | Some up ->
+      Alcotest.(check int) "extended size" 2 (Lu.Update.size up);
+      let x = Lu.Update.solve up [| 2.0; 3.0 |] in
+      Alcotest.(check (float 1e-12)) "head" 1.0 x.(0);
+      Alcotest.(check (float 1e-12)) "pad" 1.0 x.(1)
+
+let test_lu_update_singularising_rejected () =
+  (* alpha = -1/(A⁻¹)₀₀ zeroes the Woodbury denominator: M is exactly
+     singular and make must refuse. *)
+  let base = Lu.factor (Matrix.of_arrays [| [| 4.0 |] |]) in
+  let e0 = [| 1.0 |] in
+  Alcotest.(check bool) "rejected" true
+    (Lu.Update.make base [ (-4.0, e0, Array.copy e0) ] = None)
+
+let test_lu_update_length_mismatch () =
+  let base = Lu.factor (Matrix.of_arrays [| [| 1.0 |] |]) in
+  let bad () =
+    ignore (Lu.Update.make base [ (1.0, [| 1.0; 0.0 |], [| 1.0; 0.0 |]) ])
+  in
+  match bad () with
+  | () -> Alcotest.fail "length mismatch accepted"
+  | exception Invalid_argument _ -> ()
+
 let suites =
   [ ( "numeric",
       [ Alcotest.test_case "vec ops" `Quick test_vec_ops;
@@ -253,6 +311,14 @@ let suites =
         Alcotest.test_case "lu rcond" `Quick test_lu_rcond;
         Alcotest.test_case "lu det" `Quick test_lu_det;
         Alcotest.test_case "lu inverse" `Quick test_lu_inverse;
+        Alcotest.test_case "lu update known" `Quick test_lu_update_known;
+        Alcotest.test_case "lu update drops zero alpha" `Quick
+          test_lu_update_zero_alpha_dropped;
+        Alcotest.test_case "lu update pad" `Quick test_lu_update_pad;
+        Alcotest.test_case "lu update rejects singularising term" `Quick
+          test_lu_update_singularising_rejected;
+        Alcotest.test_case "lu update length mismatch" `Quick
+          test_lu_update_length_mismatch;
         QCheck_alcotest.to_alcotest prop_lu_residual;
         QCheck_alcotest.to_alcotest prop_lu_solve_in_place_matches;
         QCheck_alcotest.to_alcotest prop_inverse_roundtrip;

@@ -1,0 +1,332 @@
+(* Property-based differential tests for the incremental (Woodbury)
+   scoring stack.
+
+   A small shrink-free harness on [lib/rng]: [check ~trials name prop]
+   runs [prop] against [trials] independent seeded generators and, on
+   the first failure, reports the trial index and the exact seed that
+   reproduces it. No shrinking — the generators are parameterised
+   small enough (n <= 9) that failing cases are directly readable. *)
+
+let tech = Circuit.Technology.table1
+
+let check ?(seed = 0xD1FF) ~trials name prop =
+  for t = 0 to trials - 1 do
+    let trial_seed = seed + (1_000_003 * t) in
+    try prop (Rng.create trial_seed)
+    with e ->
+      Alcotest.failf "%s: trial %d failed (seed %d): %s" name t trial_seed
+        (Printexc.to_string e)
+  done
+
+(* Seeded generators ---------------------------------------------------- *)
+
+(* A random SPD-ish conductance matrix: the Laplacian of a random
+   connected graph (spanning tree plus a few extra edges, conductances
+   in [0.5, 2]) grounded by a positive diagonal load at every node —
+   exactly the shape [Delay.Moments.conductance_matrix] produces, and
+   comfortably well-conditioned at these sizes. *)
+let gen_spd g n =
+  let a = Numeric.Matrix.create n n in
+  let connect i j =
+    let c = Rng.float_in g 0.5 2.0 in
+    Numeric.Matrix.add_to a i i c;
+    Numeric.Matrix.add_to a j j c;
+    Numeric.Matrix.add_to a i j (-.c);
+    Numeric.Matrix.add_to a j i (-.c)
+  in
+  for i = 1 to n - 1 do
+    connect i (Rng.int g i)
+  done;
+  for _ = 1 to n do
+    let i = Rng.int g n and j = Rng.int g n in
+    if i <> j then connect i j
+  done;
+  for i = 0 to n - 1 do
+    Numeric.Matrix.add_to a i i (Rng.float_in g 0.1 1.0)
+  done;
+  a
+
+let gen_vec g n = Array.init n (fun _ -> Rng.float_in g (-1.0) 1.0)
+
+(* A rank-1 term with a magnitude away from zero, either sign. *)
+let gen_term g n =
+  let alpha = Rng.float_in g 0.1 2.0 in
+  let alpha = if Rng.bool g then alpha else -.alpha in
+  (alpha, gen_vec g n, gen_vec g n)
+
+let gen_net g =
+  let pins = Rng.int_in g 4 9 in
+  Geom.Netgen.uniform g ~region:(Geom.Rect.square 10_000.0) ~pins
+
+(* Dense reference: the represented matrix, built explicitly. *)
+let dense_of base_matrix ~pad terms =
+  let n0 = Numeric.Matrix.rows base_matrix in
+  let nt = n0 + pad in
+  let m = Numeric.Matrix.create nt nt in
+  for i = 0 to n0 - 1 do
+    for j = 0 to n0 - 1 do
+      Numeric.Matrix.set m i j (Numeric.Matrix.get base_matrix i j)
+    done
+  done;
+  List.iter
+    (fun (alpha, u, v) ->
+      for i = 0 to nt - 1 do
+        for j = 0 to nt - 1 do
+          Numeric.Matrix.add_to m i j (alpha *. u.(i) *. v.(j))
+        done
+      done)
+    terms;
+  m
+
+let rel_err x y =
+  let scale = Float.max 1.0 (Numeric.Vec.norm_inf y) in
+  Numeric.Vec.max_abs_diff x y /. scale
+
+(* Differential properties ---------------------------------------------- *)
+
+(* Woodbury solve vs a fresh LU of the summed matrix: 200 random
+   (SPD-ish matrix, rank-1..3 update) pairs must agree to 1e-9
+   relative. A degenerate [make] (None) is the documented fallback
+   trigger, not a disagreement — the fresh path remains the oracle. *)
+let prop_woodbury_matches_fresh g =
+  let n = Rng.int_in g 2 8 in
+  let a = gen_spd g n in
+  let k = Rng.int_in g 1 3 in
+  let terms = List.init k (fun _ -> gen_term g n) in
+  let b = gen_vec g n in
+  match Numeric.Lu.Update.make (Numeric.Lu.factor a) terms with
+  | None -> ()
+  | Some up ->
+      let x = Numeric.Lu.Update.solve up b in
+      let fresh = Numeric.Lu.solve_matrix (dense_of a ~pad:0 terms) b in
+      let err = rel_err x fresh in
+      if err > 1e-9 then
+        Alcotest.failf "woodbury vs fresh: n=%d k=%d rel err %.3e" n k err
+
+(* Same, with padded unknowns: the added terms chain through [pad]
+   fresh unknowns the base matrix knows nothing about — the identity
+   trick inside [Update.make] must be invisible in the solution. *)
+let prop_woodbury_pad_matches_fresh g =
+  let n = Rng.int_in g 2 6 in
+  let pad = Rng.int_in g 1 3 in
+  let nt = n + pad in
+  let a = gen_spd g n in
+  (* Chain n-1 -> p0 -> ... -> p_{pad-1} -> 0 with random conductances
+     plus a ground load on every padded node, so the extended matrix is
+     nonsingular. *)
+  let terms = ref [] in
+  let connect i j =
+    let c = Rng.float_in g 0.5 2.0 in
+    let w = Array.make nt 0.0 in
+    w.(i) <- 1.0;
+    w.(j) <- -1.0;
+    terms := (c, w, Array.copy w) :: !terms
+  in
+  let chain = Array.init (pad + 2) (fun s ->
+      if s = 0 then n - 1 else if s = pad + 1 then 0 else n + s - 1)
+  in
+  for s = 0 to pad do
+    connect chain.(s) chain.(s + 1)
+  done;
+  for p = n to nt - 1 do
+    let w = Array.make nt 0.0 in
+    w.(p) <- 1.0;
+    terms := (Rng.float_in g 0.1 1.0, w, Array.copy w) :: !terms
+  done;
+  let terms = !terms in
+  let b = gen_vec g nt in
+  match Numeric.Lu.Update.make ~pad (Numeric.Lu.factor a) terms with
+  | None -> ()
+  | Some up ->
+      let x = Numeric.Lu.Update.solve up b in
+      let fresh = Numeric.Lu.solve_matrix (dense_of a ~pad terms) b in
+      let err = rel_err x fresh in
+      if err > 1e-9 then
+        Alcotest.failf "padded woodbury vs fresh: n=%d pad=%d rel err %.3e" n
+          pad err
+
+(* The deterministic near-singular construction: alpha = -1/(A⁻¹)ᵢᵢ
+   makes the capacitance matrix S exactly zero at k=1, which [make]
+   must detect and refuse — the fallback trigger of the scorer. *)
+let prop_near_singular_rejected g =
+  let n = Rng.int_in g 2 6 in
+  let a = gen_spd g n in
+  let lu = Numeric.Lu.factor a in
+  let i = Rng.int g n in
+  let e = Array.make n 0.0 in
+  e.(i) <- 1.0;
+  let x = Numeric.Lu.solve lu e in
+  let alpha = -1.0 /. x.(i) in
+  match Numeric.Lu.Update.make lu [ (alpha, e, Array.copy e) ] with
+  | None -> ()
+  | Some _ ->
+      Alcotest.failf "singularising update accepted: n=%d i=%d alpha=%h" n i
+        alpha
+
+(* The moment stamp algebra end to end on random point nets: first
+   moments of (MST + one candidate edge) computed through the
+   incremental update must match [Delay.Moments.first_moments] of the
+   rebuilt trial routing. *)
+let prop_incremental_moments_match_rebuild g =
+  let net = gen_net g in
+  let r = Routing.mst_of_net net in
+  match Routing.candidate_edges r with
+  | [] -> ()
+  | cands ->
+      let u, v = List.nth cands (Rng.int g (List.length cands)) in
+      let trial = Routing.add_edge r u v in
+      let direct = Delay.Moments.first_moments ~tech trial in
+      let lu =
+        Numeric.Lu.factor (Delay.Moments.conductance_matrix ~tech r)
+      in
+      let n = Routing.num_vertices r in
+      let length =
+        Geom.Point.manhattan (Routing.point r u) (Routing.point r v)
+      in
+      let cond =
+        1.0
+        /. Circuit.Technology.wire_resistance_of tech ~length ~width:1.0
+      in
+      let cap =
+        Circuit.Technology.wire_capacitance_of tech ~length ~width:1.0
+      in
+      let w = Array.make n 0.0 in
+      w.(u) <- 1.0;
+      w.(v) <- -1.0;
+      let c = Delay.Moments.node_capacitances ~tech r in
+      c.(u) <- c.(u) +. (cap /. 2.0);
+      c.(v) <- c.(v) +. (cap /. 2.0);
+      (match Numeric.Lu.Update.make lu [ (cond, w, Array.copy w) ] with
+      | None -> Alcotest.fail "moment update unexpectedly degenerate"
+      | Some up ->
+          let m1 = Numeric.Lu.Update.solve up c in
+          let err = rel_err m1 direct in
+          if err > 1e-9 then
+            Alcotest.failf "incremental m1 vs rebuild: edge (%d,%d) rel err %.3e"
+              u v err)
+
+(* Trace equality: LDRG with incremental scoring on picks the identical
+   edge sequence, identical rounded objectives and the same evaluation
+   count as with it off — on table-2-style nets under every supported
+   model. *)
+
+let with_incremental enabled f =
+  let prev = Nontree.Incremental.enabled () in
+  Nontree.Incremental.set_enabled enabled;
+  Fun.protect ~finally:(fun () -> Nontree.Incremental.set_enabled prev) f
+
+let run_ldrg ~model r =
+  Nontree.Oracle.Cache.reset ();
+  Nontree.Ldrg.run ~model ~tech r
+
+let trace_signature (t : Nontree.Ldrg.trace) =
+  ( List.map (fun s -> s.Nontree.Ldrg.edge) t.Nontree.Ldrg.steps,
+    List.map
+      (fun s -> Printf.sprintf "%.6g" s.Nontree.Ldrg.objective_after)
+      t.Nontree.Ldrg.steps,
+    t.Nontree.Ldrg.evaluations )
+
+let sig_testable =
+  Alcotest.(triple (list (pair int int)) (list string) int)
+
+let test_trace_equality model () =
+  Fault.disable ();
+  (* The table-2 size-5 batch: same seed derivation as the experiment
+     harness (seed + 1_000_003 * size). *)
+  let nets =
+    Geom.Netgen.uniform_batch
+      ~seed:(1994 + (1_000_003 * 5))
+      ~region:(Geom.Rect.square tech.Circuit.Technology.layout_side)
+      ~pins:5 ~trials:2
+  in
+  Array.iter
+    (fun net ->
+      let r = Routing.mst_of_net net in
+      let off = with_incremental false (fun () -> run_ldrg ~model r) in
+      let on = with_incremental true (fun () -> run_ldrg ~model r) in
+      Alcotest.check sig_testable "identical trace" (trace_signature off)
+        (trace_signature on))
+    nets
+
+(* The incremental path must actually engage (and not fall back) on a
+   clean run — otherwise the trace tests above compare the plain path
+   to itself. *)
+let test_incremental_engages () =
+  Fault.disable ();
+  let net =
+    Geom.Netgen.uniform (Rng.create 41)
+      ~region:(Geom.Rect.square 10_000.0) ~pins:5
+  in
+  let r = Routing.mst_of_net net in
+  let hits = Obs.Counter.make "oracle.incremental_hits" in
+  let fallbacks = Obs.Counter.make "oracle.incremental_fallbacks" in
+  let updates = Obs.Counter.make "lu.rank1_updates" in
+  let h0 = Obs.Counter.value hits
+  and f0 = Obs.Counter.value fallbacks
+  and u0 = Obs.Counter.value updates in
+  let model = Delay.Model.Spice Delay.Model.fast_spice in
+  let trace = with_incremental true (fun () -> run_ldrg ~model r) in
+  Alcotest.(check bool) "evaluated something" true (trace.evaluations > 0);
+  Alcotest.(check bool) "incremental hits recorded" true
+    (Obs.Counter.value hits - h0 > 0);
+  Alcotest.(check int) "no fallbacks on a clean run" 0
+    (Obs.Counter.value fallbacks - f0);
+  Alcotest.(check bool) "rank-1 updates recorded" true
+    (Obs.Counter.value updates - u0 > 0)
+
+(* Incremental results land in the oracle cache under the same key the
+   plain path uses: an incremental run followed by a cached plain run
+   must be all hits. *)
+let test_incremental_feeds_cache () =
+  Fault.disable ();
+  let net =
+    Geom.Netgen.uniform (Rng.create 43)
+      ~region:(Geom.Rect.square 10_000.0) ~pins:5
+  in
+  let r = Routing.mst_of_net net in
+  let model = Delay.Model.First_moment in
+  Nontree.Oracle.Cache.reset ();
+  Nontree.Oracle.Cache.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Nontree.Oracle.Cache.set_enabled false;
+      Nontree.Oracle.Cache.reset ())
+    (fun () ->
+      let on =
+        with_incremental true (fun () -> Nontree.Ldrg.run ~model ~tech r)
+      in
+      let s1 = Nontree.Oracle.Cache.stats () in
+      let off =
+        with_incremental false (fun () -> Nontree.Ldrg.run ~model ~tech r)
+      in
+      let s2 = Nontree.Oracle.Cache.stats () in
+      Alcotest.check sig_testable "same trace" (trace_signature on)
+        (trace_signature off);
+      Alcotest.(check int) "replay is all cache hits" 0
+        (s2.Nontree.Oracle.Cache.misses - s1.Nontree.Oracle.Cache.misses))
+
+let suites =
+  [ ( "prop",
+      [ Alcotest.test_case "woodbury matches fresh LU (200 pairs)" `Quick
+          (fun () ->
+            check ~trials:200 "woodbury-vs-fresh" prop_woodbury_matches_fresh);
+        Alcotest.test_case "padded woodbury matches fresh LU" `Quick
+          (fun () ->
+            check ~trials:100 "padded-woodbury" prop_woodbury_pad_matches_fresh);
+        Alcotest.test_case "near-singular updates rejected" `Quick
+          (fun () ->
+            check ~trials:100 "near-singular" prop_near_singular_rejected);
+        Alcotest.test_case "incremental moments match rebuild" `Quick
+          (fun () ->
+            check ~trials:60 "moments-differential"
+              prop_incremental_moments_match_rebuild);
+        Alcotest.test_case "ldrg trace equal, first-moment" `Quick
+          (test_trace_equality Delay.Model.First_moment);
+        Alcotest.test_case "ldrg trace equal, two-pole" `Quick
+          (test_trace_equality Delay.Model.Two_pole);
+        Alcotest.test_case "ldrg trace equal, spice" `Slow
+          (test_trace_equality (Delay.Model.Spice Delay.Model.fast_spice));
+        Alcotest.test_case "incremental path engages" `Slow
+          test_incremental_engages;
+        Alcotest.test_case "incremental feeds the oracle cache" `Quick
+          test_incremental_feeds_cache ] ) ]

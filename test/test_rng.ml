@@ -86,6 +86,26 @@ let test_bool_balanced () =
   let frac = float_of_int !trues /. float_of_int n in
   Alcotest.(check bool) "balanced" true (abs_float (frac -. 0.5) < 0.03)
 
+(* Regression guard for bin/netgen determinism: the same seed must
+   yield a byte-identical net file (the CLI is Rng.create seed piped
+   straight into the generator and Netfile.to_string). *)
+let test_netgen_deterministic () =
+  let region = Geom.Rect.square 10_000.0 in
+  let render_uniform seed =
+    Geom.Netfile.to_string
+      (Geom.Netgen.uniform (Rng.create seed) ~region ~pins:10)
+  in
+  let render_clustered seed =
+    Geom.Netfile.to_string
+      (Geom.Netgen.clustered (Rng.create seed) ~region ~clusters:3 ~pins:12)
+  in
+  Alcotest.(check string) "uniform: same seed, same bytes"
+    (render_uniform 3) (render_uniform 3);
+  Alcotest.(check string) "clustered: same seed, same bytes"
+    (render_clustered 7) (render_clustered 7);
+  Alcotest.(check bool) "different seeds differ" true
+    (render_uniform 3 <> render_uniform 4)
+
 let prop_int_uniformish =
   QCheck.Test.make ~name:"rng: int covers all residues" ~count:50
     QCheck.(pair small_int (int_range 2 10))
@@ -112,4 +132,6 @@ let suites =
         Alcotest.test_case "shuffle is permutation" `Quick
           test_shuffle_permutation;
         Alcotest.test_case "bool balanced" `Quick test_bool_balanced;
+        Alcotest.test_case "netgen output deterministic" `Quick
+          test_netgen_deterministic;
         QCheck_alcotest.to_alcotest prop_int_uniformish ] ) ]

@@ -355,6 +355,63 @@ let test_trace_csv_and_append () =
     (Invalid_argument "Trace.append: probe mismatch") (fun () ->
       ignore (Spice.Trace.append t1 mismatched))
 
+(* Stamp deltas: an added element as rank-1 terms vs the extended
+   system. *)
+let test_delta_extend_matches_stamps () =
+  let nl = Netlist.create () in
+  let inp = Netlist.node nl "in" in
+  let out = Netlist.node nl "out" in
+  Netlist.vsource nl inp Netlist.ground step01;
+  Netlist.resistor nl inp out 1e3;
+  Netlist.capacitor nl out Netlist.ground 1e-12;
+  let sys = Spice.Mna.build nl in
+  let out_u = sys.Spice.Mna.unknown_of_node.(out) in
+  let d = Spice.Mna.Delta.create sys in
+  let p = Spice.Mna.Delta.fresh_unknown d in
+  Spice.Mna.Delta.add_conductance d out_u p 1e-3;
+  Spice.Mna.Delta.add_conductance d p (-1) 5e-4;
+  Spice.Mna.Delta.add_capacitance d p (-1) 2e-12;
+  let ext = Spice.Mna.Delta.extend sys d in
+  let nt = ext.Spice.Mna.size in
+  Alcotest.(check int) "one appended unknown" (sys.Spice.Mna.size + 1) nt;
+  (* Extended G must equal the embedded base plus the same stamps
+     g_terms renders as rank-1 outer products. *)
+  let expect = Numeric.Matrix.create nt nt in
+  for i = 0 to sys.Spice.Mna.size - 1 do
+    for j = 0 to sys.Spice.Mna.size - 1 do
+      Numeric.Matrix.set expect i j (Numeric.Matrix.get sys.Spice.Mna.g i j)
+    done
+  done;
+  List.iter
+    (fun (alpha, u, v) ->
+      for i = 0 to nt - 1 do
+        for j = 0 to nt - 1 do
+          Numeric.Matrix.add_to expect i j (alpha *. u.(i) *. v.(j))
+        done
+      done)
+    (Spice.Mna.Delta.g_terms d);
+  Alcotest.(check (float 1e-15)) "G matches rank-1 rendering" 0.0
+    (Numeric.Matrix.max_abs (Numeric.Matrix.sub ext.Spice.Mna.g expect));
+  Alcotest.(check (float 0.0)) "C stamped on pad diagonal" 2e-12
+    (Numeric.Matrix.get ext.Spice.Mna.c p p);
+  let b = ext.Spice.Mna.rhs 0.5 in
+  Alcotest.(check int) "rhs grows" nt (Array.length b);
+  Alcotest.(check (float 0.0)) "rhs pad is zero" 0.0 b.(p);
+  (* And the DC state through the Woodbury update equals a fresh solve
+     of the extended matrix. *)
+  match Numeric.Lu.try_factor sys.Spice.Mna.g with
+  | Error _ -> Alcotest.fail "base G did not factor"
+  | Ok base -> (
+      match
+        Numeric.Lu.Update.make ~pad:1 base (Spice.Mna.Delta.g_terms d)
+      with
+      | None -> Alcotest.fail "delta update degenerate"
+      | Some up ->
+          let x_upd = Numeric.Lu.Update.solve up b in
+          let x_fresh = Numeric.Lu.solve_matrix ext.Spice.Mna.g b in
+          Alcotest.(check (float 1e-9)) "DC states agree" 0.0
+            (Numeric.Vec.max_abs_diff x_upd x_fresh))
+
 let suites =
   [ ( "spice",
       [ Alcotest.test_case "dc divider" `Quick test_dc_divider;
@@ -384,6 +441,8 @@ let suites =
         Alcotest.test_case "crossing none" `Quick test_first_crossing_none;
         Alcotest.test_case "crossing exact sample" `Quick
           test_first_crossing_exact_sample;
+        Alcotest.test_case "delta extend matches stamps" `Quick
+          test_delta_extend_matches_stamps;
         Alcotest.test_case "rise time" `Quick test_rise_time;
         Alcotest.test_case "trace csv/append" `Quick test_trace_csv_and_append
       ] ) ]
