@@ -13,11 +13,14 @@
    the evaluation substrate here is this repository's own MNA transient
    engine rather than Berkeley SPICE2 on 1993 hardware. *)
 
+(* Wall-clock zero for progress reporting. *)
+let start_t0 = Unix.gettimeofday ()
+
 let progress fmt =
   Printf.ksprintf
     (fun s ->
       let t = Unix.gettimeofday () in
-      Printf.eprintf "[%8.1fs] %s\n%!" (t -. Main_start.t0) s)
+      Printf.eprintf "[%8.1fs] %s\n%!" (t -. start_t0) s)
     fmt
 
 (* Sections ------------------------------------------------------------- *)
@@ -157,6 +160,60 @@ let run_bechamel () =
       | _ -> Printf.printf "  %-28s (no estimate)\n" name)
     results
 
+(* Dense-vs-sparse backend comparison ------------------------------------ *)
+
+let counter_value name = Obs.Counter.value (Obs.Counter.make name)
+
+type backend_cmp = {
+  cmp_size : int;
+  cmp_nets : int;
+  dense_wall_s : float;
+  sparse_wall_s : float;
+  dense_factorizations : int;
+  sparse_factorizations : int;
+}
+
+(* Head-to-head wall clock of the two matrix backends on the heaviest
+   workload the bench knows: full-profile SPICE delay evaluation at the
+   largest net size. Direct [Delay.Model.max_delay] calls, so neither
+   pass can feed the other through the oracle memo cache. *)
+let run_backend_compare ~seed ~size =
+  progress "Backend comparison: dense vs sparse SPICE eval, %d-pin nets..."
+    size;
+  let tech = Circuit.Technology.table1 in
+  let nets = 4 in
+  let routings =
+    Array.init nets (fun i ->
+        let g = Rng.create (seed + 0xBAC0 + i) in
+        Routing.mst_of_net
+          (Geom.Netgen.uniform g ~region:(Geom.Rect.square 10_000.0)
+             ~pins:size))
+  in
+  let model = Delay.Model.Spice Delay.Model.default_spice in
+  let time kind counter =
+    let prev = Numeric.Backend.kind () in
+    Numeric.Backend.set_kind kind;
+    let c0 = counter_value counter in
+    let t0 = Unix.gettimeofday () in
+    Array.iter (fun r -> ignore (Delay.Model.max_delay model ~tech r)) routings;
+    let wall = Unix.gettimeofday () -. t0 in
+    Numeric.Backend.set_kind prev;
+    (wall, counter_value counter - c0)
+  in
+  let dense_wall_s, dense_factorizations =
+    time Numeric.Backend.Dense "lu.factorizations"
+  in
+  let sparse_wall_s, sparse_factorizations =
+    time Numeric.Backend.Sparse "sparse.factorizations"
+  in
+  progress "  dense  %.2fs (%d LU factorizations)" dense_wall_s
+    dense_factorizations;
+  progress "  sparse %.2fs (%d sparse factorizations), speedup %.2fx"
+    sparse_wall_s sparse_factorizations
+    (dense_wall_s /. sparse_wall_s);
+  { cmp_size = size; cmp_nets = nets; dense_wall_s; sparse_wall_s;
+    dense_factorizations; sparse_factorizations }
+
 (* Per-section accounting -------------------------------------------------- *)
 
 (* What BENCH_nontree.json records for each section that ran: wall time,
@@ -174,15 +231,31 @@ let hit_rate s =
   let total = s.cache_hits + s.cache_misses in
   if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total
 
-let counter_value name = Obs.Counter.value (Obs.Counter.make name)
+(* The incremental tallies are snapshotted before the backend
+   comparison runs, so its extra factorisations don't pollute them. *)
+type run_counters = {
+  rank1_updates : int;
+  inc_hits : int;
+  inc_fallbacks : int;
+  lu_factorizations : int;
+  sparse_factorizations_total : int;
+}
 
-let json_of_stats ~jobs ~cache_enabled ~incremental_enabled ~seed ~trials
-    ~sizes ~total_wall_s sections =
+let snapshot_counters () =
+  { rank1_updates = counter_value "lu.rank1_updates";
+    inc_hits = counter_value "oracle.incremental_hits";
+    inc_fallbacks = counter_value "oracle.incremental_fallbacks";
+    lu_factorizations = counter_value "lu.factorizations";
+    sparse_factorizations_total = counter_value "sparse.factorizations" }
+
+let json_of_stats ~jobs ~cache_enabled ~incremental_enabled ~matrix_backend
+    ~seed ~trials ~sizes ~total_wall_s ~counters ~backend_cmp sections =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"schema\": \"nontree-bench-v1\",\n";
   Printf.bprintf buf "  \"jobs\": %d,\n" jobs;
   Printf.bprintf buf "  \"cache_enabled\": %b,\n" cache_enabled;
+  Printf.bprintf buf "  \"matrix_backend\": %S,\n" matrix_backend;
   Printf.bprintf buf "  \"seed\": %d,\n" seed;
   Printf.bprintf buf "  \"trials\": %d,\n" trials;
   Printf.bprintf buf "  \"sizes\": [%s],\n"
@@ -194,15 +267,31 @@ let json_of_stats ~jobs ~cache_enabled ~incremental_enabled ~seed ~trials
      they are meant to suppress. *)
   Printf.bprintf buf "  \"incremental\": {\n";
   Printf.bprintf buf "    \"enabled\": %b,\n" incremental_enabled;
-  Printf.bprintf buf "    \"rank1_updates\": %d,\n"
-    (counter_value "lu.rank1_updates");
-  Printf.bprintf buf "    \"hits\": %d,\n"
-    (counter_value "oracle.incremental_hits");
-  Printf.bprintf buf "    \"fallbacks\": %d,\n"
-    (counter_value "oracle.incremental_fallbacks");
-  Printf.bprintf buf "    \"lu_factorizations\": %d\n"
-    (counter_value "lu.factorizations");
+  Printf.bprintf buf "    \"rank1_updates\": %d,\n" counters.rank1_updates;
+  Printf.bprintf buf "    \"hits\": %d,\n" counters.inc_hits;
+  Printf.bprintf buf "    \"fallbacks\": %d,\n" counters.inc_fallbacks;
+  Printf.bprintf buf "    \"lu_factorizations\": %d,\n"
+    counters.lu_factorizations;
+  Printf.bprintf buf "    \"sparse_factorizations\": %d\n"
+    counters.sparse_factorizations_total;
   Buffer.add_string buf "  },\n";
+  (match backend_cmp with
+  | None -> ()
+  | Some c ->
+      Printf.bprintf buf "  \"backend_comparison\": {\n";
+      Printf.bprintf buf "    \"net_size\": %d,\n" c.cmp_size;
+      Printf.bprintf buf "    \"nets\": %d,\n" c.cmp_nets;
+      Printf.bprintf buf "    \"model\": \"spice-default\",\n";
+      Printf.bprintf buf "    \"dense_wall_s\": %.3f,\n" c.dense_wall_s;
+      Printf.bprintf buf "    \"sparse_wall_s\": %.3f,\n" c.sparse_wall_s;
+      Printf.bprintf buf "    \"speedup\": %.2f,\n"
+        (if c.sparse_wall_s > 0.0 then c.dense_wall_s /. c.sparse_wall_s
+         else 0.0);
+      Printf.bprintf buf "    \"dense_lu_factorizations\": %d,\n"
+        c.dense_factorizations;
+      Printf.bprintf buf "    \"sparse_factorizations\": %d\n"
+        c.sparse_factorizations;
+      Buffer.add_string buf "  },\n");
   Buffer.add_string buf "  \"sections\": [\n";
   List.iteri
     (fun i s ->
@@ -232,6 +321,7 @@ let () =
   let no_incremental = ref false in
   let bench_json = ref "BENCH_nontree.json" in
   let metrics_json = ref "" in
+  let matrix_backend = ref "sparse" in
   let spec =
     [ ("--trials", Arg.Set_int trials, "N  trials per net size (default 50)");
       ("--sizes", Arg.Set_string sizes, "CSV  net sizes (default 5,10,20,30)");
@@ -256,6 +346,10 @@ let () =
         Arg.Set_string bench_json,
         "PATH  machine-readable per-section stats (default \
          BENCH_nontree.json; empty string disables)" );
+      ( "--matrix-backend",
+        Arg.Set_string matrix_backend,
+        "KIND  sparse or dense MNA factorisations (default sparse); either \
+         prints the same bytes" );
       ( "--metrics-json",
         Arg.Set_string metrics_json,
         "PATH  nontree-obs-v1 run manifest (counters, histograms, trace \
@@ -283,6 +377,11 @@ let () =
     prerr_endline "bench: --jobs must be >= 1";
     exit 2
   end;
+  (match Numeric.Backend.kind_of_string !matrix_backend with
+  | Some k -> Numeric.Backend.set_kind k
+  | None ->
+      prerr_endline "bench: --matrix-backend must be sparse or dense";
+      exit 2);
   let config =
     { Nontree.Experiment.default with
       trials = !trials;
@@ -340,9 +439,12 @@ let () =
   Printf.printf "seed %d, %d trials per size, sizes [%s], eval model %s\n"
     !seed !trials !sizes
     (Delay.Model.name config.Nontree.Experiment.eval_model);
-  Printf.printf "jobs %d, oracle cache %s, incremental scoring %s\n\n" !jobs
+  Printf.printf
+    "jobs %d, oracle cache %s, incremental scoring %s, matrix backend %s\n\n"
+    !jobs
     (if !no_cache then "off" else "on")
-    (if !no_incremental then "off" else "on");
+    (if !no_incremental then "off" else "on")
+    !matrix_backend;
   let run_t0 = Unix.gettimeofday () in
   section "1" (fun () -> run_table1 config);
   section "2" (fun () -> run_table2 config);
@@ -354,12 +456,21 @@ let () =
   section "figures" (fun () -> run_figures config ~svg_dir:!svg_dir);
   section "ext" (fun () -> run_extensions config);
   section "bechamel" (fun () -> run_bechamel ());
+  let counters = snapshot_counters () in
+  let backend_cmp =
+    if List.mem "backend" wanted || !only = "" then
+      Some
+        (run_backend_compare ~seed:!seed
+           ~size:(List.fold_left max 5 size_list))
+    else None
+  in
   let total_wall_s = Unix.gettimeofday () -. run_t0 in
   if !bench_json <> "" then begin
     let json =
       json_of_stats ~jobs:!jobs ~cache_enabled:(not !no_cache)
-        ~incremental_enabled:(not !no_incremental) ~seed:!seed
-        ~trials:!trials ~sizes:size_list ~total_wall_s
+        ~incremental_enabled:(not !no_incremental)
+        ~matrix_backend:!matrix_backend ~seed:!seed
+        ~trials:!trials ~sizes:size_list ~total_wall_s ~counters ~backend_cmp
         (List.rev !stats)
     in
     let oc = open_out !bench_json in
@@ -379,6 +490,7 @@ let () =
             ("sizes", List (List.map (fun s -> Int s) size_list));
             ("cache_enabled", Bool (not !no_cache));
             ("incremental_enabled", Bool (not !no_incremental));
+            ("matrix_backend", String !matrix_backend);
             ("eval_model",
              String (Delay.Model.name config.Nontree.Experiment.eval_model)) ]
       ~extra:

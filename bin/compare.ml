@@ -23,7 +23,7 @@ let algorithms tech model net =
       (Nontree.Ldrg.run ~model ~tech (Ert.construct ~tech net))
         .Nontree.Ldrg.final ) ]
 
-let finish_observability ~model_name ~metrics_json ~trace =
+let finish_observability ~model_name ~matrix_backend ~metrics_json ~trace =
   if trace then (
     match Obs.span_summary () with
     | Some s -> Printf.eprintf "%s%!" s
@@ -33,12 +33,17 @@ let finish_observability ~model_name ~metrics_json ~trace =
   | Some path ->
       Obs.Manifest.write ~path
         ~argv:(Array.to_list Sys.argv)
-        ~meta:[ ("model", Obs.Json.String model_name) ]
+        ~meta:
+          [ ("model", Obs.Json.String model_name);
+            ( "matrix_backend",
+              Obs.Json.String (Numeric.Backend.kind_to_string matrix_backend)
+            ) ]
         ();
       Printf.eprintf "wrote metrics manifest %s\n%!" path
 
-let run net_file model_name metrics_json trace =
+let run net_file model_name matrix_backend metrics_json trace =
   if trace || metrics_json <> None then Obs.set_enabled true;
+  Numeric.Backend.set_kind matrix_backend;
   match Geom.Netfile.read net_file with
   | Error e -> `Error (false, net_file ^ ": " ^ e)
   | Ok net ->
@@ -70,7 +75,7 @@ let run net_file model_name metrics_json trace =
             (Trees.Metrics.radius r /. 1e3)
             (if Routing.is_tree r then "tree" else "graph"))
         rows;
-      finish_observability ~model_name ~metrics_json ~trace;
+      finish_observability ~model_name ~matrix_backend ~metrics_json ~trace;
       `Ok ()
 
 let net_file =
@@ -86,6 +91,17 @@ let model =
         ~doc:
           "moment (all first-moment), spice (SPICE search and eval), or \
            mixed (first-moment search, SPICE eval; default).")
+
+let matrix_backend =
+  Arg.(
+    value
+    & opt
+        (enum [ ("sparse", Numeric.Backend.Sparse); ("dense", Numeric.Backend.Dense) ])
+        Numeric.Backend.Sparse
+    & info [ "matrix-backend" ] ~docv:"KIND"
+        ~doc:
+          "Linear-algebra backend for MNA factorisations: sparse (the \
+           default) or dense. Either prints the same bytes.")
 
 let metrics_json =
   Arg.(
@@ -108,6 +124,7 @@ let cmd =
   let doc = "compare all routing constructions on one net" in
   Cmd.v
     (Cmd.info "compare" ~doc)
-    Term.(ret (const run $ net_file $ model $ metrics_json $ trace))
+    Term.(
+      ret (const run $ net_file $ model $ matrix_backend $ metrics_json $ trace))
 
 let () = exit (Cmd.eval cmd)

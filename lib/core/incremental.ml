@@ -49,13 +49,13 @@ let max_sink_delay ds =
    base capacitance vector. Shared read-only across worker domains;
    every candidate builds its own Update. *)
 type moments_ctx = {
-  m_lu : Numeric.Lu.t;
+  m_lu : Numeric.Backend.t;
   m_cap : float array;
   m_n : int;
 }
 
 let prepare_moments ~tech r =
-  match Numeric.Lu.try_factor (Delay.Moments.conductance_matrix ~tech r) with
+  match Numeric.Backend.try_factor (Delay.Moments.conductance_matrix ~tech r) with
   | Error _ -> None
   | Ok m_lu ->
       Some
@@ -81,7 +81,7 @@ let moment_update ctx ~tech r edge =
   let c = Array.copy ctx.m_cap in
   c.(u) <- c.(u) +. (cap /. 2.0);
   c.(v) <- c.(v) +. (cap /. 2.0);
-  match Numeric.Lu.Update.make ctx.m_lu [ (cond, w, w) ] with
+  match Numeric.Backend.update ctx.m_lu [ (cond, w, w) ] with
   | None -> fall_back "degenerate moments update"
   | Some up ->
       let m1 = Numeric.Lu.Update.solve up c in
@@ -105,7 +105,7 @@ let two_pole_delays ctx ~tech r edge =
 type spice_ctx = {
   cfg : Delay.Model.spice_config;
   sys : Spice.Mna.t;
-  g_lu : Numeric.Lu.t;
+  g_lu : Numeric.Backend.t;
   sink_unknowns : int array;  (* probe indices, in sink order *)
   vertex_unknown : int array;  (* routing vertex -> MNA unknown *)
   mom : moments_ctx;  (* for the horizon estimate *)
@@ -128,7 +128,7 @@ let prepare_spice ~tech cfg r =
         with
         | exception _ -> None
         | nl, sink_names, sys -> (
-            match Numeric.Lu.try_factor sys.Spice.Mna.g with
+            match Spice.Mna.factor_g_result sys with
             | Error _ -> None
             | Ok g_lu ->
                 let unknown_of name =
@@ -181,7 +181,7 @@ let spice_delays ctx ~tech r edge =
     Spice.Mna.Delta.add_capacitance d chain.(s + 1) (-1) (seg_c /. 2.0)
   done;
   let pad = Spice.Mna.Delta.added_unknowns d in
-  match Numeric.Lu.Update.make ~pad ctx.g_lu (Spice.Mna.Delta.g_terms d) with
+  match Numeric.Backend.update ~pad ctx.g_lu (Spice.Mna.Delta.g_terms d) with
   | None -> fall_back "degenerate conductance update"
   | Some gup -> (
       let nt = Numeric.Lu.Update.size gup in

@@ -1,0 +1,69 @@
+type kind = Dense | Sparse
+
+let kind_to_string = function Dense -> "dense" | Sparse -> "sparse"
+
+let kind_of_string = function
+  | "dense" -> Some Dense
+  | "sparse" -> Some Sparse
+  | _ -> None
+
+let current = Atomic.make Sparse
+let set_kind k = Atomic.set current k
+let kind () = Atomic.get current
+
+(* Sparse threshold pivoting refused a matrix that dense full partial
+   pivoting then factored. A handful per run is a conditioning
+   curiosity; a large count means the sparse path is mistuned and the
+   run is quietly paying dense prices. *)
+let dense_fallbacks = Obs.Counter.make "sparse.dense_fallbacks"
+
+type t = D of Lu.t | S of Sparse.t
+
+let try_factor_csc ?symbolic ?dense csc =
+  let to_dense () =
+    match dense with Some m -> m | None -> Sparse.Csc.to_matrix csc
+  in
+  match Atomic.get current with
+  | Dense -> Result.map (fun f -> D f) (Lu.try_factor (to_dense ()))
+  | Sparse -> (
+      match Sparse.try_factor ?symbolic csc with
+      | Ok f -> Ok (S f)
+      | Error _ -> (
+          (* Borderline pivots: the dense kernel is the authority on
+             singularity, so its verdict (either way) is final. *)
+          match Lu.try_factor (to_dense ()) with
+          | Ok f ->
+              Obs.Counter.incr dense_fallbacks;
+              Ok (D f)
+          | Error k -> Error k))
+
+let try_factor ?symbolic m =
+  match Atomic.get current with
+  | Dense -> Result.map (fun f -> D f) (Lu.try_factor m)
+  | Sparse -> try_factor_csc ?symbolic ~dense:m (Sparse.Csc.of_matrix m)
+
+let factor ?symbolic m =
+  match try_factor ?symbolic m with
+  | Ok f -> f
+  | Error k -> raise (Lu.Singular k)
+
+let size = function D f -> Lu.size f | S f -> Sparse.size f
+
+let solve_with ~work t b =
+  match t with
+  | D f -> Lu.solve_with ~work f b
+  | S f -> Sparse.solve_with ~work f b
+
+let solve_in_place = function
+  | D f -> Lu.solve_in_place f
+  | S f -> Sparse.solve_in_place f
+
+let solve t b =
+  let x = Array.copy b in
+  solve_in_place t x;
+  x
+
+let update ?pad ?rcond_floor t terms =
+  Lu.Update.make_with ?pad ?rcond_floor ~n:(size t)
+    ~solve_with:(fun ~work b -> solve_with ~work t b)
+    terms

@@ -143,6 +143,8 @@ let solve_with ~work t b =
 
 let solve_in_place t b = solve_with ~work:t.scratch t b
 
+let size t = t.n
+
 let solve t b =
   let x = Array.copy b in
   solve_in_place t x;
@@ -257,8 +259,17 @@ module Update = struct
      (O(k·n²)) plus one k×k factorisation; each [solve] is then O(n²)
      with no full factorisation at all. *)
 
+  (* The base is any factorisation-like solver: all the Woodbury
+     algebra ever needs from it is its size and a workspace-threaded
+     in-place solve, so a sparse base (via Backend) plugs in with a
+     closure and the rank-1 machinery is shared verbatim. *)
+  type base_solver = {
+    base_n : int;
+    base_solve : work:float array -> float array -> unit;
+  }
+
   type nonrec t = {
-    base : t;
+    base : base_solver;
     pad : int;
     nt : int;  (* n0 + pad *)
     k : int;  (* rank-1 terms, pad corrections included *)
@@ -278,7 +289,7 @@ module Update = struct
   let ext_solve ~base ~pad ~gamma ~headwork ~basework b =
     let n0 = Array.length headwork in
     Array.blit b 0 headwork 0 n0;
-    solve_with ~work:basework base headwork;
+    base.base_solve ~work:basework headwork;
     Array.blit headwork 0 b 0 n0;
     for j = 0 to pad - 1 do
       b.(n0 + j) <- b.(n0 + j) /. gamma
@@ -289,9 +300,12 @@ module Update = struct
     && Array.for_all Float.is_finite u
     && Array.for_all Float.is_finite v
 
-  let make ?(pad = 0) ?(rcond_floor = default_rcond_floor) base terms =
+  let make_with ?(pad = 0) ?(rcond_floor = default_rcond_floor) ~n
+      ~solve_with:base_solve terms =
     if pad < 0 then invalid_arg "Lu.Update.make: negative pad";
-    let n0 = base.n in
+    if n < 0 then invalid_arg "Lu.Update.make: negative size";
+    let base = { base_n = n; base_solve } in
+    let n0 = base.base_n in
     let nt = n0 + pad in
     List.iter
       (fun (_, u, v) ->
@@ -378,6 +392,11 @@ module Update = struct
                   headwork; basework; kwork = Array.make k 0.0 }
       end
     end
+
+  let make ?pad ?rcond_floor base terms =
+    make_with ?pad ?rcond_floor ~n:base.n
+      ~solve_with:(fun ~work b -> solve_with ~work base b)
+      terms
 
   let solve up b =
     if Array.length b <> up.nt then

@@ -32,8 +32,19 @@ val factor : Matrix.t -> t
 (** @raise Singular when no usable pivot exists.
     @raise Invalid_argument when the matrix is not square. *)
 
+val size : t -> int
+(** Dimension of the factored matrix. *)
+
 val solve : t -> float array -> float array
 (** [solve lu b] returns x with Ax = b.
+
+    @raise Invalid_argument on a length mismatch. *)
+
+val solve_with : work:float array -> t -> float array -> unit
+(** [solve_with ~work t b] overwrites [b] with the solution, using the
+    caller-supplied [work] buffer (length n) instead of the
+    factorisation's own scratch — so a factorisation shared between
+    domains stays read-only during solves.
 
     @raise Invalid_argument on a length mismatch. *)
 
@@ -110,6 +121,19 @@ module Update : sig
 
       @raise Invalid_argument on negative [pad] or a term whose
       vectors do not have length n₀ + pad. *)
+
+  val make_with :
+    ?pad:int ->
+    ?rcond_floor:float ->
+    n:int ->
+    solve_with:(work:float array -> float array -> unit) ->
+    (float * float array * float array) list ->
+    t option
+  (** Like {!make}, but over any base solver given as its size [n] and
+      a workspace-threaded in-place solve — all the Woodbury algebra
+      needs from the base. This is how {!Backend} extends a sparse base
+      factorisation with rank-1 terms without duplicating the update
+      machinery. *)
 
   val solve : t -> float array -> float array
   (** [solve u b] returns M⁻¹b (length n₀ + pad) by the Woodbury

@@ -1,0 +1,122 @@
+(** Sparse linear algebra: CSC matrices, fill-reducing ordering, LU.
+
+    The MNA systems this repository factors are lumped distributed-RC
+    routing nets — a spanning tree plus a handful of chord edges — so
+    their conductance matrices carry O(n) nonzeros while the dense
+    {!Lu} pays O(n³) to factor and O(n²) per solve. This module is the
+    sparse counterpart: compressed sparse column storage built from
+    triplet stamps, a reverse Cuthill–McKee fill-reducing ordering
+    (reusable across factorisations of the same pattern), and a
+    left-looking (Gilbert–Peierls) LU with threshold partial pivoting
+    whose factor and solve costs are proportional to the factor
+    nonzeros, not n³/n².
+
+    Singularity semantics match the dense backend: a pivot smaller
+    than 1e-13 times the largest input entry (or 1e-300 absolutely)
+    yields [Error column], non-finite input entries [Error (-1)].
+    Borderline cases where threshold pivoting gives up but full dense
+    partial pivoting would not are handled one level up:
+    {!Backend.try_factor} retries the dense path before reporting the
+    matrix singular.
+
+    Factorisations are tallied under the [sparse.factorizations] /
+    [sparse.singular] / [sparse.nnz] counters and the
+    [sparse.fill_ratio] histogram on the {!Obs} registry. *)
+
+(** Triplet (coordinate-form) accumulation: the natural output of MNA
+    stamping. Entries are recorded in insertion order; duplicates are
+    allowed and sum. *)
+module Triplets : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+
+  val add : t -> int -> int -> float -> unit
+  (** [add t i j v] records a stamp of [v] at (row [i], column [j]).
+      @raise Invalid_argument on a negative index. *)
+
+  val iter : t -> (int -> int -> float -> unit) -> unit
+  (** Iterate the stamps in insertion order — replaying them into a
+      dense {!Matrix.t} with {!Matrix.add_to} reproduces bit-identical
+      entry values, since duplicate summation happens in the same
+      order. *)
+
+  val copy : t -> t
+end
+
+(** Compressed sparse column matrices: per-column sorted, duplicate-free
+    row indices. *)
+module Csc : sig
+  type t
+
+  val of_triplets : n:int -> Triplets.t -> t
+  (** [of_triplets ~n t] is the n×n matrix with duplicate stamps
+      summed (in insertion order, for bit-reproducibility against a
+      dense replay). Exact zeros arising from stamp values are kept in
+      the pattern.
+      @raise Invalid_argument on a negative [n] or an index ≥ [n]. *)
+
+  val of_matrix : Matrix.t -> t
+  (** The nonzero entries of a dense matrix. *)
+
+  val to_matrix : t -> Matrix.t
+
+  val rows : t -> int
+  val cols : t -> int
+  val nnz : t -> int
+end
+
+(** Symbolic analysis: the fill-reducing elimination order, computed
+    once per sparsity pattern and reusable across every numeric
+    factorisation of a same-sized system (the ordering is just a
+    column permutation, so reuse is safe — merely suboptimal — even if
+    the pattern has drifted). *)
+module Symbolic : sig
+  type t
+
+  val order : t -> int array
+  (** A copy of the elimination (column) order: [order.(k)] is the
+      original column eliminated at step [k]. Always a permutation of
+      0..n-1. *)
+
+  val size : t -> int
+end
+
+val analyze : Csc.t -> Symbolic.t
+(** Reverse Cuthill–McKee ordering on the symmetrised pattern of the
+    matrix, component by component from pseudo-peripheral start
+    vertices. O(nnz log nnz).
+    @raise Invalid_argument on a non-square matrix. *)
+
+type t
+(** A sparse factorisation PAQ = LU: Q the fill-reducing column order,
+    P chosen by threshold partial pivoting (a pivot within a factor
+    0.1 of the column maximum keeps the diagonal choice; otherwise the
+    largest entry wins). *)
+
+val try_factor : ?symbolic:Symbolic.t -> Csc.t -> (t, int) result
+(** [try_factor csc] factors the matrix, running {!analyze} first
+    unless [symbolic] provides the ordering. [Error k] reports the
+    original column whose best available pivot fell below the
+    threshold, [Error (-1)] a non-finite input entry.
+    @raise Invalid_argument on a non-square matrix or a [symbolic] of
+    the wrong size. *)
+
+val size : t -> int
+
+val factor_nnz : t -> int
+(** Nonzeros of L + U, diagonal included — the fill the ordering was
+    meant to contain. *)
+
+val solve_with : work:float array -> t -> float array -> unit
+(** [solve_with ~work t b] overwrites [b] with A⁻¹b, using [work]
+    (length n) as the intermediate buffer so a factorisation shared
+    between domains stays read-only during solves. O(nnz(L+U)).
+    @raise Invalid_argument on a length mismatch. *)
+
+val solve_in_place : t -> float array -> unit
+(** {!solve_with} using the factorisation's own scratch buffer (not
+    domain-safe; one caller at a time). *)
+
+val solve : t -> float array -> float array

@@ -199,9 +199,9 @@ let threshold_delays_result ?(options = default_options) ?(fraction = 0.5) nl
           (* Final values: DC with sources settled. *)
           let t_settled = settled_time ~horizon in
           let* xf =
-            match Numeric.Lu.try_factor sys.Mna.g with
+            match Mna.factor_g_result sys with
             | Error k -> Error (singular_error ~stage:"spice.settle" k)
-            | Ok lu -> Ok (Numeric.Lu.solve lu (sys.Mna.rhs t_settled))
+            | Ok lu -> Ok (Numeric.Backend.solve lu (sys.Mna.rhs t_settled))
           in
           let* () = check_finite ~stage:"spice.settle" xf in
           let* found =

@@ -1,4 +1,6 @@
 open Circuit
+module Triplets = Numeric.Sparse.Triplets
+module Csc = Numeric.Sparse.Csc
 
 type t = {
   size : int;
@@ -7,7 +9,49 @@ type t = {
   c : Numeric.Matrix.t;
   rhs : float -> float array;
   unknown_of_node : int array;
+  g_stamps : Triplets.t;
+  c_stamps : Triplets.t;
+  g_csc : Csc.t;
+  g_sym : Numeric.Sparse.Symbolic.t;
+  lhs_sym : Numeric.Sparse.Symbolic.t;
 }
+
+(* Replaying the triplet log into a dense matrix reproduces the exact
+   float values the old direct [add_to] stamping computed: duplicates
+   sum in insertion order either way. [Csc.of_triplets] makes the same
+   ordering guarantee, so the two images of G agree bitwise. *)
+let materialize n trips =
+  let m = Numeric.Matrix.create n n in
+  Triplets.iter trips (fun i j v -> Numeric.Matrix.add_to m i j v);
+  m
+
+(* The sparse caches are computed eagerly — [Mna.t] values are shared
+   read-only across worker domains, where a lazy thunk would race.
+   [lhs_sym] orders the union pattern of G and C: the transient
+   iteration matrix G + C/h (any h, any integration method) and every
+   doubled-timestep refactor reuse it. *)
+let finish ~size ~num_node_unknowns ~rhs ~unknown_of_node gt ct =
+  let g_csc = Csc.of_triplets ~n:size gt in
+  let g_sym = Numeric.Sparse.analyze g_csc in
+  let lhs_sym =
+    let u = Triplets.create ~capacity:(Triplets.length gt + Triplets.length ct) () in
+    Triplets.iter gt (fun i j _ -> Triplets.add u i j 1.0);
+    Triplets.iter ct (fun i j _ -> Triplets.add u i j 1.0);
+    Numeric.Sparse.analyze (Csc.of_triplets ~n:size u)
+  in
+  {
+    size;
+    num_node_unknowns;
+    g = materialize size gt;
+    c = materialize size ct;
+    rhs;
+    unknown_of_node;
+    g_stamps = gt;
+    c_stamps = ct;
+    g_csc;
+    g_sym;
+    lhs_sym;
+  }
 
 let build nl =
   let num_nodes = Netlist.num_nodes nl in
@@ -21,16 +65,16 @@ let build nl =
   let size = num_node_unknowns + List.length branches in
   if size = 0 then invalid_arg "Mna.build: circuit has no unknowns";
   let unknown_of_node = Array.init num_nodes (fun i -> i - 1) in
-  let g = Numeric.Matrix.create size size in
-  let c = Numeric.Matrix.create size size in
+  let gt = Triplets.create ~capacity:(4 * List.length elements) () in
+  let ct = Triplets.create ~capacity:(4 * List.length elements) () in
   let idx node = unknown_of_node.(node) in
   let stamp_conductance m pos neg value =
     let p = idx pos and n = idx neg in
-    if p >= 0 then Numeric.Matrix.add_to m p p value;
-    if n >= 0 then Numeric.Matrix.add_to m n n value;
+    if p >= 0 then Triplets.add m p p value;
+    if n >= 0 then Triplets.add m n n value;
     if p >= 0 && n >= 0 then begin
-      Numeric.Matrix.add_to m p n (-.value);
-      Numeric.Matrix.add_to m n p (-.value)
+      Triplets.add m p n (-.value);
+      Triplets.add m n p (-.value)
     end
   in
   (* b(t) contributions: (row, sign, waveform). *)
@@ -40,20 +84,20 @@ let build nl =
     (fun e ->
       match e with
       | Element.Resistor { pos; neg; ohms; _ } ->
-          stamp_conductance g pos neg (1.0 /. ohms)
+          stamp_conductance gt pos neg (1.0 /. ohms)
       | Element.Capacitor { pos; neg; farads; _ } ->
-          stamp_conductance c pos neg farads
+          stamp_conductance ct pos neg farads
       | Element.Vsource { pos; neg; wave; _ } ->
           let row = !next_branch in
           incr next_branch;
           let p = idx pos and n = idx neg in
           if p >= 0 then begin
-            Numeric.Matrix.add_to g p row 1.0;
-            Numeric.Matrix.add_to g row p 1.0
+            Triplets.add gt p row 1.0;
+            Triplets.add gt row p 1.0
           end;
           if n >= 0 then begin
-            Numeric.Matrix.add_to g n row (-1.0);
-            Numeric.Matrix.add_to g row n (-1.0)
+            Triplets.add gt n row (-1.0);
+            Triplets.add gt row n (-1.0)
           end;
           source_terms := (row, 1.0, wave) :: !source_terms
       | Element.Inductor { pos; neg; henries; _ } ->
@@ -61,14 +105,14 @@ let build nl =
           incr next_branch;
           let p = idx pos and n = idx neg in
           if p >= 0 then begin
-            Numeric.Matrix.add_to g p row 1.0;
-            Numeric.Matrix.add_to g row p 1.0
+            Triplets.add gt p row 1.0;
+            Triplets.add gt row p 1.0
           end;
           if n >= 0 then begin
-            Numeric.Matrix.add_to g n row (-1.0);
-            Numeric.Matrix.add_to g row n (-1.0)
+            Triplets.add gt n row (-1.0);
+            Triplets.add gt row n (-1.0)
           end;
-          Numeric.Matrix.add_to c row row (-.henries)
+          Triplets.add ct row row (-.henries)
       | Element.Isource { pos; neg; wave; _ } ->
           (* Positive source current flows from pos through the source
              to neg, i.e. it is extracted from pos and injected at neg. *)
@@ -85,11 +129,23 @@ let build nl =
       source_terms;
     b
   in
-  { size; num_node_unknowns; g; c; rhs; unknown_of_node }
+  finish ~size ~num_node_unknowns ~rhs ~unknown_of_node gt ct
 
 let voltage sys x node =
   let u = sys.unknown_of_node.(node) in
   if u < 0 then 0.0 else x.(u)
+
+(* G is factored in several places (DC operating point, settle probe,
+   incremental base) — one helper keeps them all on the triplet path
+   with the precomputed ordering, handing the dense image over for the
+   backend's dense mode and pivot fallback. *)
+let factor_g_result sys =
+  Numeric.Backend.try_factor_csc ~symbolic:sys.g_sym ~dense:sys.g sys.g_csc
+
+let factor_g sys =
+  match factor_g_result sys with
+  | Ok f -> f
+  | Error k -> raise (Numeric.Lu.Singular k)
 
 (* Stamp deltas ---------------------------------------------------------- *)
 
@@ -110,7 +166,6 @@ module Delta = struct
 
   let size d = d.base_size + d.added
   let added_unknowns d = d.added
-
   let fresh_unknown d =
     let u = d.base_size + d.added in
     d.added <- d.added + 1;
@@ -147,41 +202,31 @@ module Delta = struct
       (List.rev d.g_stamps)
 
   let stamp m i j value =
-    if i >= 0 then Numeric.Matrix.add_to m i i value;
-    if j >= 0 then Numeric.Matrix.add_to m j j value;
+    if i >= 0 then Triplets.add m i i value;
+    if j >= 0 then Triplets.add m j j value;
     if i >= 0 && j >= 0 then begin
-      Numeric.Matrix.add_to m i j (-.value);
-      Numeric.Matrix.add_to m j i (-.value)
+      Triplets.add m i j (-.value);
+      Triplets.add m j i (-.value)
     end
 
+  (* The extended system replays the base triplet log and appends the
+     delta stamps, so its dense entries match what growing the dense
+     matrices entry-by-entry used to produce, and it gets fresh sparse
+     caches sized for the extended pattern. *)
   let extend (sys : base) d =
     if sys.size <> d.base_size then
       invalid_arg "Mna.Delta.extend: delta built from a different system";
     let nt = size d in
-    let grow src =
-      let dst = Numeric.Matrix.create nt nt in
-      for i = 0 to sys.size - 1 do
-        for j = 0 to sys.size - 1 do
-          let v = Numeric.Matrix.get src i j in
-          if v <> 0.0 then Numeric.Matrix.set dst i j v
-        done
-      done;
-      dst
-    in
-    let g = grow sys.g in
-    let c = grow sys.c in
-    List.iter (fun { i; j; value } -> stamp g i j value) (List.rev d.g_stamps);
-    List.iter (fun { i; j; value } -> stamp c i j value) (List.rev d.c_stamps);
+    let gt = Triplets.copy sys.g_stamps in
+    let ct = Triplets.copy sys.c_stamps in
+    List.iter (fun { i; j; value } -> stamp gt i j value) (List.rev d.g_stamps);
+    List.iter (fun { i; j; value } -> stamp ct i j value) (List.rev d.c_stamps);
     let rhs t =
       let b = sys.rhs t in
       let out = Array.make nt 0.0 in
       Array.blit b 0 out 0 sys.size;
       out
     in
-    { size = nt;
-      num_node_unknowns = sys.num_node_unknowns;
-      g;
-      c;
-      rhs;
-      unknown_of_node = sys.unknown_of_node }
+    finish ~size:nt ~num_node_unknowns:sys.num_node_unknowns ~rhs
+      ~unknown_of_node:sys.unknown_of_node gt ct
 end

@@ -7,7 +7,13 @@
 
     where x = (v, i). This module builds G, C and b from a netlist.
     Ground (node 0) is eliminated; unknown indices therefore run over
-    non-ground nodes first, then branches. *)
+    non-ground nodes first, then branches.
+
+    Assembly goes through a triplet stamp log, which feeds both matrix
+    backends: the dense images [g]/[c] (a bit-exact replay of the
+    stamps) and the sparse image [g_csc] with precomputed fill-reducing
+    orderings. The sparse caches are built eagerly so an [Mna.t] can be
+    shared read-only across worker domains. *)
 
 type t = {
   size : int;  (** total number of unknowns *)
@@ -17,10 +23,24 @@ type t = {
   rhs : float -> float array;  (** b(t) *)
   unknown_of_node : int array;
       (** netlist node id → unknown index; ground maps to -1 *)
+  g_stamps : Numeric.Sparse.Triplets.t;  (** the stamp log behind [g] *)
+  c_stamps : Numeric.Sparse.Triplets.t;  (** the stamp log behind [c] *)
+  g_csc : Numeric.Sparse.Csc.t;  (** sparse image of [g] *)
+  g_sym : Numeric.Sparse.Symbolic.t;  (** ordering for G's pattern *)
+  lhs_sym : Numeric.Sparse.Symbolic.t;
+      (** ordering for the union pattern of G and C — valid for the
+          transient iteration matrix G + C/h at every timestep *)
 }
 
 val build : Circuit.Netlist.t -> t
 (** @raise Invalid_argument on an empty circuit (no unknowns). *)
+
+val factor_g_result : t -> (Numeric.Backend.t, int) result
+(** Factor G under the active matrix backend, reusing the precomputed
+    [g_sym] ordering; error codes as {!Numeric.Lu.try_factor}. *)
+
+val factor_g : t -> Numeric.Backend.t
+(** @raise Numeric.Lu.Singular when G has no usable pivot. *)
 
 val voltage : t -> float array -> int -> float
 (** [voltage sys x node] extracts a node voltage from a solution

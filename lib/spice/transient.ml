@@ -7,7 +7,7 @@ type chunk = {
 }
 
 let dc_operating_point (sys : Mna.t) =
-  Numeric.Lu.solve (Numeric.Lu.factor sys.Mna.g) (sys.Mna.rhs 0.0)
+  Numeric.Backend.solve (Mna.factor_g sys) (sys.Mna.rhs 0.0)
 
 (* Compressed sparse rows of a matrix: MNA matrices have a handful of
    nonzeros per row, so the explicit-side product per timestep is far
@@ -71,7 +71,11 @@ let run (sys : Mna.t) ~method_ ~x0 ~t0 ~dt ~steps ~probes =
         let c2h = Numeric.Matrix.scale (2.0 /. dt) c in
         (Numeric.Matrix.add g c2h, Numeric.Matrix.sub c2h g)
   in
-  let lu = Numeric.Lu.factor lhs in
+  (* The iteration matrix is assembled densely (bit-identical entries
+     under either backend) and factored by the active backend; its
+     pattern is covered by the precomputed G∪C ordering whatever the
+     timestep or method. *)
+  let lu = Numeric.Backend.factor ~symbolic:sys.Mna.lhs_sym lhs in
   let explicit_csr = csr_of_matrix explicit in
   let num_probes = Array.length probes in
   let times = Array.make steps 0.0 in
@@ -96,7 +100,7 @@ let run (sys : Mna.t) ~method_ ~x0 ~t0 ~dt ~steps ~probes =
             (Array.unsafe_get rhs i +. Array.unsafe_get bp i
             +. Array.unsafe_get b' i)
         done);
-    Numeric.Lu.solve_in_place lu rhs;
+    Numeric.Backend.solve_in_place lu rhs;
     Array.blit rhs 0 x 0 n;
     b_prev := b';
     times.(s) <- t';

@@ -296,6 +296,137 @@ let test_lu_update_length_mismatch () =
   | () -> Alcotest.fail "length mismatch accepted"
   | exception Invalid_argument _ -> ()
 
+(* Sparse kernel and backend dispatch ----------------------------------- *)
+
+let test_sparse_triplets_sum () =
+  let t = Sparse.Triplets.create () in
+  Sparse.Triplets.add t 0 0 1.0;
+  Sparse.Triplets.add t 1 1 2.0;
+  Sparse.Triplets.add t 0 0 0.5;
+  Sparse.Triplets.add t 1 0 (-1.0);
+  Alcotest.(check int) "length counts duplicates" 4 (Sparse.Triplets.length t);
+  let csc = Sparse.Csc.of_triplets ~n:2 t in
+  Alcotest.(check int) "nnz after summing" 3 (Sparse.Csc.nnz csc);
+  let m = Sparse.Csc.to_matrix csc in
+  Alcotest.(check (float 0.0)) "duplicates summed" 1.5 (Matrix.get m 0 0);
+  Alcotest.(check (float 0.0)) "a11" 2.0 (Matrix.get m 1 1);
+  Alcotest.(check (float 0.0)) "a10" (-1.0) (Matrix.get m 1 0);
+  Alcotest.(check (float 0.0)) "absent entry" 0.0 (Matrix.get m 0 1);
+  (* Replaying the triplet log into a dense matrix is the bit-identity
+     contract the Mna materialisation relies on. *)
+  let replay = Matrix.create 2 2 in
+  Sparse.Triplets.iter t (fun i j v -> Matrix.add_to replay i j v);
+  Alcotest.(check (float 0.0)) "replay matches csc" 0.0
+    (Matrix.max_abs (Matrix.sub replay m))
+
+let test_sparse_zero_diagonal_pivot () =
+  (* A vsource-style MNA block [[g,1],[1,0]]: the branch row has a zero
+     diagonal, so threshold pivoting must swap. *)
+  let a = Matrix.of_arrays [| [| 2.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  match Sparse.try_factor (Sparse.Csc.of_matrix a) with
+  | Error k -> Alcotest.failf "factor failed at column %d" k
+  | Ok f ->
+      Alcotest.(check int) "size" 2 (Sparse.size f);
+      let x = Sparse.solve f [| 3.0; 1.0 |] in
+      Alcotest.(check (float 1e-12)) "x0" 1.0 x.(0);
+      Alcotest.(check (float 1e-12)) "x1" 1.0 x.(1)
+
+let test_sparse_singular_rejected () =
+  (* Exact rank deficiency: elimination is exact in floats here, so the
+     second pivot is exactly zero. *)
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  (match Sparse.try_factor (Sparse.Csc.of_matrix a) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on a rank-deficient matrix");
+  (* A structurally empty column can never produce a pivot. *)
+  let z = Matrix.of_arrays [| [| 1.0; 0.0 |]; [| 0.0; 0.0 |] |] in
+  (match Sparse.try_factor (Sparse.Csc.of_matrix z) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Error on an empty column");
+  let nan_m = Matrix.of_arrays [| [| Float.nan; 0.0 |]; [| 0.0; 1.0 |] |] in
+  match Sparse.try_factor (Sparse.Csc.of_matrix nan_m) with
+  | Error k -> Alcotest.(check int) "non-finite input flag" (-1) k
+  | Ok _ -> Alcotest.fail "expected Error on a NaN matrix"
+
+let test_sparse_symbolic_reuse () =
+  let a, b = random_dd_system 99 12 in
+  let csc = Sparse.Csc.of_matrix a in
+  let sym = Sparse.analyze csc in
+  Alcotest.(check int) "symbolic size" 12 (Sparse.Symbolic.size sym);
+  let order = Sparse.Symbolic.order sym in
+  let seen = Array.make 12 false in
+  Array.iter (fun c -> seen.(c) <- true) order;
+  Alcotest.(check bool) "order is a permutation" true
+    (Array.for_all Fun.id seen);
+  match (Sparse.try_factor csc, Sparse.try_factor ~symbolic:sym csc) with
+  | Ok f1, Ok f2 ->
+      let x1 = Sparse.solve f1 b and x2 = Sparse.solve f2 b in
+      Alcotest.(check (float 0.0)) "identical solves" 0.0
+        (Vec.max_abs_diff x1 x2);
+      let r = Vec.sub (Matrix.mul_vec a x1) b in
+      Alcotest.(check bool) "residual small" true (Vec.norm_inf r < 1e-8);
+      Alcotest.(check bool) "factor nnz at least the input diagonal" true
+        (Sparse.factor_nnz f1 >= 12)
+  | _ -> Alcotest.fail "well-conditioned system failed to factor"
+
+let test_sparse_solve_with_buffer () =
+  let a, b = random_dd_system 7 9 in
+  match Sparse.try_factor (Sparse.Csc.of_matrix a) with
+  | Error _ -> Alcotest.fail "factor failed"
+  | Ok f ->
+      let x = Sparse.solve f b in
+      let y = Array.copy b in
+      Sparse.solve_with ~work:(Array.make 9 0.0) f y;
+      Alcotest.(check (float 0.0)) "solve_with = solve" 0.0
+        (Vec.max_abs_diff x y);
+      let z = Array.copy b in
+      Sparse.solve_in_place f z;
+      Alcotest.(check (float 0.0)) "solve_in_place = solve" 0.0
+        (Vec.max_abs_diff x z)
+
+let with_backend kind f =
+  let prev = Backend.kind () in
+  Backend.set_kind kind;
+  Fun.protect ~finally:(fun () -> Backend.set_kind prev) f
+
+let test_backend_kind_strings () =
+  Alcotest.(check string) "sparse name" "sparse"
+    (Backend.kind_to_string Backend.Sparse);
+  Alcotest.(check string) "dense name" "dense"
+    (Backend.kind_to_string Backend.Dense);
+  Alcotest.(check bool) "sparse parses" true
+    (Backend.kind_of_string "sparse" = Some Backend.Sparse);
+  Alcotest.(check bool) "dense parses" true
+    (Backend.kind_of_string "dense" = Some Backend.Dense);
+  Alcotest.(check bool) "garbage rejected" true
+    (Backend.kind_of_string "banded" = None)
+
+let test_backend_solves_under_both_kinds () =
+  let a, b = random_dd_system 23 10 in
+  let reference = Lu.solve_matrix a b in
+  List.iter
+    (fun kind ->
+      with_backend kind (fun () ->
+          let x = Backend.solve (Backend.factor a) b in
+          Alcotest.(check bool)
+            (Backend.kind_to_string kind ^ " backend solves")
+            true
+            (Vec.max_abs_diff x reference < 1e-9)))
+    [ Backend.Dense; Backend.Sparse ];
+  Alcotest.(check bool) "kind restored" true (Backend.kind () = Backend.Sparse)
+
+let test_backend_singular_parity () =
+  let a = Matrix.of_arrays [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  List.iter
+    (fun kind ->
+      with_backend kind (fun () ->
+          match Backend.try_factor a with
+          | Error _ -> ()
+          | Ok _ ->
+              Alcotest.failf "%s backend accepted a singular matrix"
+                (Backend.kind_to_string kind)))
+    [ Backend.Dense; Backend.Sparse ]
+
 let suites =
   [ ( "numeric",
       [ Alcotest.test_case "vec ops" `Quick test_vec_ops;
@@ -330,4 +461,20 @@ let suites =
         Alcotest.test_case "zmatrix 1x1 complex" `Quick test_zmatrix_solve;
         Alcotest.test_case "zmatrix residual" `Quick
           test_zmatrix_mul_and_roundtrip;
-        Alcotest.test_case "zmatrix singular" `Quick test_zmatrix_singular ] ) ]
+        Alcotest.test_case "zmatrix singular" `Quick test_zmatrix_singular;
+        Alcotest.test_case "sparse triplets sum duplicates" `Quick
+          test_sparse_triplets_sum;
+        Alcotest.test_case "sparse zero-diagonal pivoting" `Quick
+          test_sparse_zero_diagonal_pivot;
+        Alcotest.test_case "sparse singular rejection" `Quick
+          test_sparse_singular_rejected;
+        Alcotest.test_case "sparse symbolic reuse" `Quick
+          test_sparse_symbolic_reuse;
+        Alcotest.test_case "sparse solve buffers agree" `Quick
+          test_sparse_solve_with_buffer;
+        Alcotest.test_case "backend kind strings" `Quick
+          test_backend_kind_strings;
+        Alcotest.test_case "backend solves under both kinds" `Quick
+          test_backend_solves_under_both_kinds;
+        Alcotest.test_case "backend singular parity" `Quick
+          test_backend_singular_parity ] ) ]

@@ -248,6 +248,37 @@ let test_trace_equality model () =
         (trace_signature on))
     nets
 
+(* Backend trace equality: the sparse and dense matrix backends pick
+   the identical LDRG edge sequence, rounded objectives and evaluation
+   count on table-2 nets — the in-process form of the byte-identical
+   stdout guarantee behind [--matrix-backend]. *)
+
+let with_backend kind f =
+  let prev = Numeric.Backend.kind () in
+  Numeric.Backend.set_kind kind;
+  Fun.protect ~finally:(fun () -> Numeric.Backend.set_kind prev) f
+
+let test_backend_trace_equality model () =
+  Fault.disable ();
+  let nets =
+    Geom.Netgen.uniform_batch
+      ~seed:(1994 + (1_000_003 * 5))
+      ~region:(Geom.Rect.square tech.Circuit.Technology.layout_side)
+      ~pins:5 ~trials:2
+  in
+  Array.iter
+    (fun net ->
+      let r = Routing.mst_of_net net in
+      let dense =
+        with_backend Numeric.Backend.Dense (fun () -> run_ldrg ~model r)
+      in
+      let sparse =
+        with_backend Numeric.Backend.Sparse (fun () -> run_ldrg ~model r)
+      in
+      Alcotest.check sig_testable "identical trace across backends"
+        (trace_signature dense) (trace_signature sparse))
+    nets
+
 (* The incremental path must actually engage (and not fall back) on a
    clean run — otherwise the trace tests above compare the plain path
    to itself. *)
@@ -273,6 +304,100 @@ let test_incremental_engages () =
     (Obs.Counter.value fallbacks - f0);
   Alcotest.(check bool) "rank-1 updates recorded" true
     (Obs.Counter.value updates - u0 > 0)
+
+(* Sparse vs dense kernel differentials ---------------------------------- *)
+
+(* A random stamped system, built through the triplet log the way [Mna]
+   and [Moments] stamp: a random connected Laplacian plus ground loads.
+   Duplicate stamps are deliberate — summation order is part of the
+   contract. *)
+let gen_stamped g n =
+  let t = Numeric.Sparse.Triplets.create () in
+  let connect i j =
+    let c = Rng.float_in g 0.5 2.0 in
+    Numeric.Sparse.Triplets.add t i i c;
+    Numeric.Sparse.Triplets.add t j j c;
+    Numeric.Sparse.Triplets.add t i j (-.c);
+    Numeric.Sparse.Triplets.add t j i (-.c)
+  in
+  for i = 1 to n - 1 do
+    connect i (Rng.int g i)
+  done;
+  for _ = 1 to n do
+    let i = Rng.int g n and j = Rng.int g n in
+    if i <> j then connect i j
+  done;
+  for i = 0 to n - 1 do
+    Numeric.Sparse.Triplets.add t i i (Rng.float_in g 0.1 1.0)
+  done;
+  t
+
+let materialize_triplets n t =
+  let m = Numeric.Matrix.create n n in
+  Numeric.Sparse.Triplets.iter t (fun i j v -> Numeric.Matrix.add_to m i j v);
+  m
+
+(* 200 random stamped systems through both kernels. Most trials are
+   well-conditioned and must agree to 1e-9 relative; a slice injects an
+   exactly-singular system (a node with no stamps at all — an empty
+   row and column) or a non-finite stamp, where both kernels must
+   refuse. Exact constructions only: borderline cases where threshold
+   pivoting gives up but dense full pivoting does not are the
+   documented job of [Backend]'s fallback, not a kernel property. *)
+let prop_sparse_matches_dense g =
+  let n = Rng.int_in g 2 9 in
+  let roll = Rng.int g 8 in
+  let stamped_n = if roll = 0 then n - 1 else n in
+  let t = gen_stamped g (max 1 stamped_n) in
+  if roll = 1 then
+    Numeric.Sparse.Triplets.add t (Rng.int g stamped_n) (Rng.int g stamped_n)
+      Float.nan;
+  let csc = Numeric.Sparse.Csc.of_triplets ~n t in
+  let dense = materialize_triplets n t in
+  let dense_r = Numeric.Lu.try_factor dense in
+  let sparse_r = Numeric.Sparse.try_factor csc in
+  match (dense_r, sparse_r) with
+  | Error dk, Error sk ->
+      if roll > 1 then
+        Alcotest.failf "both kernels rejected a clean system: n=%d" n;
+      if roll = 1 && (dk <> -1 || sk <> -1) then
+        Alcotest.failf "non-finite flags disagree: dense %d sparse %d" dk sk
+  | Ok df, Ok sf ->
+      if roll <= 1 then
+        Alcotest.failf "both kernels accepted a defective system: n=%d roll=%d"
+          n roll;
+      let b = gen_vec g n in
+      let xd = Numeric.Lu.solve df b in
+      let xs = Numeric.Sparse.solve sf b in
+      let err = rel_err xs xd in
+      if err > 1e-9 then
+        Alcotest.failf "sparse vs dense solve: n=%d rel err %.3e" n err
+  | Ok _, Error k ->
+      Alcotest.failf "sparse rejected (column %d) what dense accepted: n=%d" k n
+  | Error k, Ok _ ->
+      Alcotest.failf "sparse accepted what dense rejected (column %d): n=%d" k n
+
+(* The fill-reducing ordering is a permutation of the columns for any
+   pattern — asymmetric stamps, empty rows, disconnected components. *)
+let prop_ordering_is_permutation g =
+  let n = Rng.int_in g 1 12 in
+  let t = Numeric.Sparse.Triplets.create () in
+  let entries = Rng.int g (3 * n) in
+  for _ = 1 to entries do
+    Numeric.Sparse.Triplets.add t (Rng.int g n) (Rng.int g n)
+      (Rng.float_in g (-1.0) 1.0)
+  done;
+  let sym = Numeric.Sparse.analyze (Numeric.Sparse.Csc.of_triplets ~n t) in
+  let order = Numeric.Sparse.Symbolic.order sym in
+  if Array.length order <> n then
+    Alcotest.failf "order length %d <> n=%d" (Array.length order) n;
+  let seen = Array.make n false in
+  Array.iter
+    (fun c ->
+      if c < 0 || c >= n || seen.(c) then
+        Alcotest.failf "not a permutation at column %d (n=%d)" c n;
+      seen.(c) <- true)
+    order
 
 (* Incremental results land in the oracle cache under the same key the
    plain path uses: an incremental run followed by a cached plain run
@@ -320,6 +445,20 @@ let suites =
           (fun () ->
             check ~trials:60 "moments-differential"
               prop_incremental_moments_match_rebuild);
+        Alcotest.test_case "sparse matches dense (200 stamped systems)" `Quick
+          (fun () ->
+            check ~trials:200 "sparse-vs-dense" prop_sparse_matches_dense);
+        Alcotest.test_case "sparse ordering is a permutation" `Quick
+          (fun () ->
+            check ~trials:200 "ordering-permutation"
+              prop_ordering_is_permutation);
+        Alcotest.test_case "backend trace equal, first-moment" `Quick
+          (test_backend_trace_equality Delay.Model.First_moment);
+        Alcotest.test_case "backend trace equal, two-pole" `Quick
+          (test_backend_trace_equality Delay.Model.Two_pole);
+        Alcotest.test_case "backend trace equal, spice" `Slow
+          (test_backend_trace_equality
+             (Delay.Model.Spice Delay.Model.fast_spice));
         Alcotest.test_case "ldrg trace equal, first-moment" `Quick
           (test_trace_equality Delay.Model.First_moment);
         Alcotest.test_case "ldrg trace equal, two-pole" `Quick
